@@ -1,0 +1,87 @@
+(* skyloft_run: command-line front end for the reproduction experiments.
+
+   Examples:
+     skyloft_run fig5               # schbench comparison (Figure 5)
+     skyloft_run fig8b --full      # RocksDB sweep at 1s per point
+     skyloft_run table6            # preemption mechanism costs
+     skyloft_run all --quick       # everything, fast *)
+
+open Cmdliner
+module E = Skyloft_experiments
+module Time = Skyloft_sim.Time
+
+let config_term =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Short runs (80 ms per data point).")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Long runs (1 s per data point).")
+  in
+  let duration_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "duration-ms" ] ~docv:"MS" ~doc:"Simulated milliseconds per data point.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let build quick full duration_ms seed =
+    let base =
+      if quick then E.Config.quick else if full then E.Config.full else E.Config.default
+    in
+    let duration =
+      match duration_ms with Some ms -> Time.ms ms | None -> base.E.Config.duration
+    in
+    { E.Config.duration; seed }
+  in
+  Term.(const build $ quick $ full $ duration_ms $ seed)
+
+let experiments : (string * string * (E.Config.t -> unit)) list =
+  [
+    ("fig5", "schbench wakeup latency across schedulers",
+     fun c -> ignore (E.Fig5.print c));
+    ("fig6", "schbench wakeup latency vs RR time slice",
+     fun c -> ignore (E.Fig6.print c));
+    ("fig7a", "dispersive workload tail latency",
+     fun c -> ignore (E.Fig7.print_a c));
+    ( "fig7b",
+      "dispersive workload co-located with a batch application",
+      fun c -> ignore (E.Fig7.print_b c) );
+    ( "fig7c",
+      "CPU share of the batch application",
+      fun c ->
+        let b = E.Fig7.print_b c in
+        ignore (E.Fig7.print_c c b) );
+    ("fig8a", "Memcached under the USR workload",
+     fun c -> ignore (E.Fig8.print_a c));
+    ("fig8b", "RocksDB under the bimodal workload",
+     fun c -> ignore (E.Fig8.print_b c));
+    ("table4", "scheduler lines of code", fun _ -> ignore (E.Tables.print_table4 ()));
+    ("table5", "scheduling-policy parameters", fun _ -> E.Tables.print_table5 ());
+    ("table6", "preemption mechanism costs", fun _ -> ignore (E.Tables.print_table6 ()));
+    ( "table7",
+      "threading operation costs (model; see bench for measured)",
+      fun _ -> ignore (E.Tables.print_table7_model ()) );
+    ("appswitch", "inter-application switch cost", fun _ -> E.Tables.print_appswitch ());
+    ("ablations", "design-choice ablations (tick tax, 2a-vs-2b, dispatcher scaling, NIC modes)",
+     E.Ablations.print);
+  ]
+
+let all_cmd config =
+  List.iter (fun (_, _, run) -> run config) experiments
+
+let cmd_of (name, doc, run) =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ config_term)
+
+let () =
+  let default = Term.(const all_cmd $ config_term) in
+  let info =
+    Cmd.info "skyloft_run" ~version:"1.0"
+      ~doc:"Reproduce the Skyloft (SOSP '24) evaluation tables and figures"
+  in
+  let cmds =
+    List.map cmd_of experiments
+    @ [ Cmd.v (Cmd.info "all" ~doc:"Run every experiment") default ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,1 @@
+examples/colocate.ml: Format Printf Skyloft Skyloft_hw Skyloft_kernel Skyloft_net Skyloft_policies Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Skyloft Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+examples/uthreads_demo.ml: List Printf Queue Skyloft_uthread Sys

@@ -1,0 +1,1 @@
+examples/uthreads_demo.mli:

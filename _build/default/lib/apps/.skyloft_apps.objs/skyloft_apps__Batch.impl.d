@@ -1,0 +1,1 @@
+lib/apps/batch.ml: Printf Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/apps/batch.mli: Skyloft Skyloft_sim

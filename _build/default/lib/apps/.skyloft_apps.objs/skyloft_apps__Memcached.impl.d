@@ -1,0 +1,1 @@
+lib/apps/memcached.ml: Skyloft_sim

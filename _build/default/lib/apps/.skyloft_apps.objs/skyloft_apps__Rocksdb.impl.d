@@ -1,0 +1,1 @@
+lib/apps/rocksdb.ml: Skyloft_sim

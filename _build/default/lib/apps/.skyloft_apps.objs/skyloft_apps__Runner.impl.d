@@ -1,0 +1,1 @@
+lib/apps/runner.ml: Skyloft Skyloft_kernel Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/apps/runner.mli: Skyloft Skyloft_kernel Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/apps/schbench.ml: List Printf Queue Runner Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/apps/schbench.mli: Runner Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/apps/synthetic.ml: Skyloft Skyloft_net Skyloft_sim

@@ -1,0 +1,1 @@
+lib/apps/synthetic.mli: Skyloft Skyloft_sim

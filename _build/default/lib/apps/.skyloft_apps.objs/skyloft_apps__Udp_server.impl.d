@@ -1,0 +1,1 @@
+lib/apps/udp_server.ml: Array Hashtbl List Skyloft Skyloft_hw Skyloft_net Skyloft_sim

@@ -1,0 +1,1 @@
+lib/apps/udp_server.mli: Skyloft Skyloft_net Skyloft_sim

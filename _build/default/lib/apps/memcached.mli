@@ -1,0 +1,24 @@
+module Time = Skyloft_sim.Time
+module Rng = Skyloft_sim.Rng
+module Dist = Skyloft_sim.Dist
+
+(** Memcached model (§5.3, Figure 8a): an in-memory key-value store under
+    Meta's USR workload — 99.8% GETs, 0.2% SETs, light-tailed service
+    times.  Because the workload is light-tailed, preemption buys
+    nothing: this is the experiment where Skyloft only has to match
+    Shenango's work stealing. *)
+
+val get_fraction : float
+val get_service : Dist.t
+val set_service : Dist.t
+
+val kind : Rng.t -> string
+(** Draw "get" or "set" with the USR mix. *)
+
+val service : Dist.t
+(** The USR mix as one distribution, for the load generator. *)
+
+val mean_service_ns : float
+
+val saturation_rps : cores:int -> float
+(** Offered load that saturates [cores] workers, before overheads. *)

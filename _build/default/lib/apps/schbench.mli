@@ -1,0 +1,27 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Histogram = Skyloft_stats.Histogram
+
+(** schbench v1.0 model (§5.1).
+
+    M message threads continuously wake T worker threads; each woken worker
+    performs a fixed chunk of work (matrix multiplication in the original,
+    ~2,300 µs per request with default parameters) and goes back to sleep
+    until the next wake.  The figure of merit is the p99 {e wakeup
+    latency}: time from the wake to the worker's first instruction —
+    queueing plus scheduling delay, the quantity Figure 5 plots against the
+    worker count. *)
+
+type config = {
+  message_threads : int;
+  workers : int;
+  request : Time.t;  (** per-request work *)
+  message_work : Time.t;  (** message-thread CPU per wake *)
+}
+
+val default_config : workers:int -> config
+(** 1 message thread, 2,300 µs requests, 1 µs message work. *)
+
+val run : Runner.t -> Engine.t -> config -> duration:Time.t -> Histogram.t
+(** Start the benchmark now, simulate for [duration], and return the wakeup
+    latency histogram (message-thread wakeups excluded). *)

@@ -1,0 +1,1 @@
+lib/baselines/ghost.ml: Skyloft Skyloft_hw Skyloft_kernel Skyloft_sim

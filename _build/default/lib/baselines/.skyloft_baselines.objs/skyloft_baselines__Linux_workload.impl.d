@@ -1,0 +1,1 @@
+lib/baselines/linux_workload.ml: List Printf Queue Skyloft_hw Skyloft_kernel Skyloft_net Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/baselines/linux_workload.mli: Skyloft_hw Skyloft_sim Skyloft_stats

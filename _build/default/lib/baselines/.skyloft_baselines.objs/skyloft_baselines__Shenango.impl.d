@@ -1,0 +1,1 @@
+lib/baselines/shenango.ml: Skyloft Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim

@@ -1,0 +1,1 @@
+lib/baselines/shenango.mli: Skyloft Skyloft_hw Skyloft_kernel Skyloft_sim

@@ -1,0 +1,1 @@
+lib/baselines/shinjuku_orig.ml: Skyloft Skyloft_hw Skyloft_kernel Skyloft_sim

@@ -1,0 +1,22 @@
+module Time = Skyloft_sim.Time
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Centralized = Skyloft.Centralized
+
+(** ghOSt model (§5.2 comparator).
+
+    ghOSt delegates kernel scheduling decisions to a user-space global
+    agent: state changes flow to the agent as messages, decisions flow back
+    as transactions committed into the kernel, and preemption rides kernel
+    IPIs between kernel threads.  Structurally it is the same
+    dispatcher-plus-workers shape as Skyloft-Shinjuku, so it runs on the
+    same centralized runtime with the ghOSt cost vector
+    ({!Skyloft.Centralized.ghost_mechanism}): ~1.5 µs of agent/transaction
+    work per dispatch, kernel-IPI preemption, and kernel-thread context
+    switches on the workers.  Those costs are what produce its lower
+    maximum throughput (~0.8x) and ~3x higher low-load tail latency in
+    Figure 7. *)
+
+let make machine kmod ~dispatcher_core ~worker_cores ~quantum ?be_reclaim policy =
+  Centralized.create machine kmod ~dispatcher_core ~worker_cores ~quantum
+    ~mechanism:Centralized.ghost_mechanism ?be_reclaim policy

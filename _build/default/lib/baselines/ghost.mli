@@ -1,0 +1,17 @@
+module Time = Skyloft_sim.Time
+
+(** ghOSt model (§5.2 comparator): the same dispatcher-plus-workers shape
+    as Skyloft-Shinjuku, with the ghOSt cost vector — agent/transaction
+    work per dispatch, kernel-IPI preemption, kernel-thread switches —
+    which is what produces its ~0.8× max throughput and ~3× low-load
+    tails in Figure 7. *)
+
+val make :
+  Skyloft_hw.Machine.t ->
+  Skyloft_kernel.Kmod.t ->
+  dispatcher_core:int ->
+  worker_cores:int list ->
+  quantum:Time.t ->
+  ?be_reclaim:Skyloft.Centralized.be_reclaim ->
+  Skyloft.Sched_ops.ctor ->
+  Skyloft.Centralized.t

@@ -1,0 +1,1 @@
+lib/core/app.ml: Format Skyloft_sim Skyloft_stats

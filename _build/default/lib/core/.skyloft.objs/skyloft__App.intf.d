@@ -1,0 +1,1 @@
+lib/core/app.mli: Format Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/core/centralized.ml: App Array Hashtbl List Printf Runqueue Sched_ops Skyloft_hw Skyloft_kernel Skyloft_sim Skyloft_stats Task

@@ -1,0 +1,1 @@
+lib/core/percpu.ml: App Array Hashtbl List Sched_ops Skyloft_hw Skyloft_kernel Skyloft_sim Skyloft_stats Task

@@ -1,0 +1,1 @@
+lib/core/percpu.mli: App Sched_ops Skyloft_hw Skyloft_kernel Skyloft_sim Skyloft_stats Task

@@ -1,0 +1,1 @@
+lib/core/runqueue.ml: Hashtbl List Task

@@ -1,0 +1,1 @@
+lib/core/sched_ops.ml: Array Skyloft_sim Task

@@ -1,0 +1,1 @@
+lib/core/sched_ops.mli: Skyloft_sim Task

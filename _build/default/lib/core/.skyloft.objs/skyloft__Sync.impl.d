@@ -1,0 +1,1 @@
+lib/core/sync.ml: Percpu Queue Skyloft_sim Task

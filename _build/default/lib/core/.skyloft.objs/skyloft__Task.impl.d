@@ -1,0 +1,1 @@
+lib/core/task.ml: Format Skyloft_sim

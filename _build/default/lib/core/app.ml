@@ -1,0 +1,36 @@
+module Time = Skyloft_sim.Time
+module Summary = Skyloft_stats.Summary
+
+type t = {
+  id : int;
+  name : string;
+  mutable busy_ns : int;
+  mutable spawned : int;
+  mutable completed : int;
+  mutable tasks_alive : int;
+  summary : Summary.t;
+}
+
+let counter = ref 0
+
+let make id name =
+  {
+    id;
+    name;
+    busy_ns = 0;
+    spawned = 0;
+    completed = 0;
+    tasks_alive = 0;
+    summary = Summary.create ();
+  }
+
+let create ~name =
+  incr counter;
+  make !counter name
+
+let daemon () = make 0 "daemon"
+
+let cpu_share t ~total_ns =
+  if total_ns <= 0 then 0.0 else float_of_int t.busy_ns /. float_of_int total_ns
+
+let pp ppf t = Format.fprintf ppf "%s(app=%d)" t.name t.id

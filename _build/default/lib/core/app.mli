@@ -1,0 +1,32 @@
+module Time = Skyloft_sim.Time
+module Summary = Skyloft_stats.Summary
+
+(** Applications scheduled by Skyloft.
+
+    An application owns user threads and, per isolated core, one kernel
+    thread managed by the kernel module (§3.3).  The runtime accounts CPU
+    time ([busy_ns]) per application — the basis of the CPU-share
+    measurements in Figure 7c — and each application carries a
+    {!Summary.t} for its request metrics. *)
+
+type t = {
+  id : int;
+  name : string;
+  mutable busy_ns : int;  (** accumulated worker CPU time *)
+  mutable spawned : int;
+  mutable completed : int;
+  mutable tasks_alive : int;
+  summary : Summary.t;
+}
+
+val create : name:string -> t
+(** Fresh application with a process-wide unique id (starting at 1; id 0 is
+    the runtime's daemon). *)
+
+val daemon : unit -> t
+(** The Skyloft daemon pseudo-application (id 0): owns the idle loops. *)
+
+val cpu_share : t -> total_ns:int -> float
+(** Fraction of [total_ns] this application spent running. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,445 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+module Engine = Skyloft_sim.Engine
+module Eventq = Skyloft_sim.Eventq
+module Machine = Skyloft_hw.Machine
+module Costs = Skyloft_hw.Costs
+module Kmod = Skyloft_kernel.Kmod
+module Summary = Skyloft_stats.Summary
+
+type mechanism = {
+  mech_name : string;
+  dispatch_cost : Time.t;
+  preempt_send : Time.t;
+  preempt_delivery : Time.t;
+  preempt_receive : Time.t;
+  worker_switch : Time.t;
+}
+
+let skyloft_mechanism =
+  {
+    mech_name = "Skyloft";
+    dispatch_cost = 100;
+    preempt_send = Costs.uipi_send_ns ~cross_numa:false;
+    preempt_delivery = Costs.uipi_delivery_ns ~cross_numa:false;
+    preempt_receive = Costs.uipi_receive_ns ~cross_numa:false + Costs.uthread_yield_ns;
+    worker_switch = Costs.uthread_yield_ns;
+  }
+
+(* Dune posted interrupts avoid kernel entries on the sender but trap into
+   the guest on delivery; measured overheads in the Shinjuku paper are a
+   small multiple of user IPIs. *)
+let shinjuku_mechanism =
+  {
+    mech_name = "Shinjuku";
+    dispatch_cost = 120;
+    preempt_send = 250;
+    preempt_delivery = 1_400;
+    preempt_receive = 650;
+    worker_switch = 60;
+  }
+
+(* ghOSt: every dispatch is an agent decision committed through a kernel
+   transaction; preemption rides kernel IPIs; workers are kernel threads. *)
+let ghost_mechanism =
+  {
+    mech_name = "ghOSt";
+    dispatch_cost = 1_200;
+    preempt_send = Costs.kipi_send_ns;
+    preempt_delivery = Costs.kipi_delivery_ns;
+    preempt_receive = Costs.kipi_receive_ns;
+    worker_switch = Costs.linux_ctx_switch_ns;
+  }
+
+type be_reclaim = Reclaim_immediate | Reclaim_periodic of Time.t
+
+type worker = {
+  core_id : int;
+  mutable current : Task.t option;
+  mutable completion : Eventq.handle option;
+  mutable gen : int;  (* assignment generation, guards stale events *)
+  mutable reserved : bool;  (* an assignment is in flight *)
+  mutable busy_from : Time.t;
+  mutable active_app : int;
+}
+
+type t = {
+  machine : Machine.t;
+  engine : Engine.t;
+  kmod : Kmod.t;
+  dispatcher_core : int;
+  workers : worker array;
+  mech : mechanism;
+  quantum : Time.t;
+  be_reclaim : be_reclaim;
+  mutable policy : Sched_ops.instance;
+  mutable disp_busy_until : Time.t;
+  kthreads : (int * int, Kmod.kthread) Hashtbl.t;
+  mutable apps : App.t list;
+  daemon : App.t;
+  mutable be_app : App.t option;
+  be_queue : Runqueue.t;
+  lc_queued : int ref;  (* LC tasks waiting in the policy queue *)
+  mutable preempts : int;
+  mutable be_preempts : int;
+  mutable dispatches : int;
+}
+
+let now t = Engine.now t.engine
+let quantum t = t.quantum
+
+let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = id) t.apps
+
+let is_be t (task : Task.t) =
+  match t.be_app with Some app -> task.app = app.App.id | None -> false
+
+let account t w =
+  (match w.current with
+  | Some task ->
+      let app = find_app t task.Task.app in
+      app.App.busy_ns <- app.App.busy_ns + max 0 (now t - w.busy_from)
+  | None -> ());
+  w.busy_from <- now t
+
+(* The dispatcher is a serial resource; [f] runs when it has spent [cost]
+   on this operation. *)
+let dispatcher_do t cost f =
+  let start = max (now t) t.disp_busy_until in
+  t.disp_busy_until <- start + cost;
+  ignore (Engine.at t.engine (start + cost) f)
+
+(* ---- worker-side execution ---------------------------------------------- *)
+
+let rec process t w (task : Task.t) =
+  match task.body with
+  | Coro.Compute (d, k) ->
+      task.cont <- k;
+      task.segment_end <- now t + d;
+      w.completion <-
+        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t w task))
+  | Coro.Yield _ ->
+      (* continuation evaluated at the next dispatch (resume time) *)
+      task.state <- Task.Runnable;
+      account t w;
+      w.current <- None;
+      w.gen <- w.gen + 1;
+      if is_be t task then Runqueue.push_tail t.be_queue task
+      else
+        t.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_yielded task;
+      try_next t w
+  | Coro.Block k ->
+      if task.pending_wake then begin
+        task.pending_wake <- false;
+        task.body <- k ();
+        process t w task
+      end
+      else begin
+        task.body <- Coro.Block k;
+        task.state <- Task.Blocked;
+        account t w;
+        w.current <- None;
+        w.gen <- w.gen + 1;
+        t.policy.task_block ~cpu:w.core_id task;
+        try_next t w
+      end
+  | Coro.Exit ->
+      task.state <- Task.Exited;
+      account t w;
+      w.current <- None;
+      w.gen <- w.gen + 1;
+      let app = find_app t task.app in
+      app.App.completed <- app.App.completed + 1;
+      app.App.tasks_alive <- app.App.tasks_alive - 1;
+      t.policy.task_terminate task;
+      (match task.on_exit with Some f -> f task | None -> ());
+      try_next t w
+
+and on_complete t w (task : Task.t) =
+  w.completion <- None;
+  task.body <- task.cont ();
+  process t w task
+
+and start_on t w (task : Task.t) =
+  w.reserved <- false;
+  t.dispatches <- t.dispatches + 1;
+  let switch_cost =
+    if task.Task.app = w.active_app then t.mech.worker_switch
+    else begin
+      let from_kt = Hashtbl.find t.kthreads (w.active_app, w.core_id) in
+      let to_kt = Hashtbl.find t.kthreads (task.Task.app, w.core_id) in
+      let cost = Kmod.switch_to t.kmod ~from:from_kt ~target:to_kt in
+      w.active_app <- task.Task.app;
+      cost
+    end
+  in
+  task.state <- Task.Running;
+  task.wake_time <- None;
+  w.current <- Some task;
+  w.busy_from <- now t;
+  w.gen <- w.gen + 1;
+  let gen = w.gen in
+  let start = now t + switch_cost in
+  task.run_start <- start;
+  task.last_core <- w.core_id;
+  (* Arm the quantum timer for LC work (Shinjuku-style PS). *)
+  if t.quantum > 0 && not (is_be t task) then
+    ignore
+      (Engine.at t.engine (start + t.quantum) (fun () -> quantum_check t w task gen));
+  ignore
+    (Engine.after t.engine switch_cost (fun () ->
+         match w.current with
+         | Some cur when cur == task && task.state = Task.Running ->
+             (match task.body with
+             | Coro.Yield k -> task.body <- k ()
+             | Coro.Block k when task.resuming ->
+                 task.resuming <- false;
+                 task.body <- k ()
+             | Coro.Block _ | Coro.Compute _ | Coro.Exit -> ());
+             process t w task
+         | _ -> ()))
+
+and assign t w (task : Task.t) =
+  w.reserved <- true;
+  dispatcher_do t t.mech.dispatch_cost (fun () -> start_on t w task)
+
+and try_next t w =
+  if not w.reserved && w.current = None then begin
+    match t.policy.task_dequeue ~cpu:w.core_id with
+    | Some task -> assign t w task
+    | None -> (
+        match Runqueue.pop_head t.be_queue with
+        | Some be -> assign t w be
+        | None -> ())
+  end
+
+(* Preemption of the task currently on [w]; the caller already charged the
+   delivery latency.  [requeue] decides where the preempted task goes. *)
+and do_preempt t w gen ~requeue =
+  match (w.current, w.completion) with
+  | Some task, Some h when w.gen = gen ->
+      Eventq.cancel h;
+      w.completion <- None;
+      (* Worker-side handling overhead runs before the switch. *)
+      let overhead = t.mech.preempt_receive in
+      let remaining = max 0 (task.segment_end - now t) + overhead in
+      task.body <- Coro.Compute (remaining, task.cont);
+      task.state <- Task.Runnable;
+      account t w;
+      w.current <- None;
+      w.gen <- w.gen + 1;
+      requeue task;
+      try_next t w
+  | _ -> ()
+
+and quantum_check t w (task : Task.t) gen =
+  let still_running =
+    match w.current with Some cur -> cur == task && w.gen = gen | None -> false
+  in
+  if still_running then begin
+    t.preempts <- t.preempts + 1;
+    dispatcher_do t t.mech.preempt_send (fun () ->
+        ignore
+          (Engine.after t.engine t.mech.preempt_delivery (fun () ->
+               do_preempt t w gen ~requeue:(fun task ->
+                   t.policy.task_enqueue ~cpu:t.dispatcher_core
+                     ~reason:Sched_ops.Enq_preempted task))))
+  end
+
+let preempt_be_worker t w =
+  match w.current with
+  | Some task when is_be t task && w.completion <> None ->
+      let gen = w.gen in
+      t.be_preempts <- t.be_preempts + 1;
+      dispatcher_do t t.mech.preempt_send (fun () ->
+          ignore
+            (Engine.after t.engine t.mech.preempt_delivery (fun () ->
+                 do_preempt t w gen ~requeue:(fun task ->
+                     Runqueue.push_head t.be_queue task))));
+      true
+  | _ -> false
+
+(* ---- construction -------------------------------------------------------- *)
+
+(* Queue length is not part of the Table 2 interface, so the runtime counts
+   it by wrapping the policy's enqueue/dequeue. *)
+let count_queue counter (p : Sched_ops.instance) =
+  {
+    p with
+    Sched_ops.task_enqueue =
+      (fun ~cpu ~reason task ->
+        incr counter;
+        p.Sched_ops.task_enqueue ~cpu ~reason task);
+    task_dequeue =
+      (fun ~cpu ->
+        match p.Sched_ops.task_dequeue ~cpu with
+        | Some task ->
+            decr counter;
+            Some task
+        | None -> None);
+  }
+
+let queue_length t = !(t.lc_queued)
+
+let worker_view t =
+  {
+    Sched_ops.cores = Array.map (fun w -> w.core_id) t.workers;
+    is_idle =
+      (fun core ->
+        Array.exists (fun w -> w.core_id = core && w.current = None) t.workers);
+    now = (fun () -> now t);
+  }
+
+let register_kthread t app_id core =
+  let kt = Kmod.park_on_cpu t.kmod ~app:app_id ~core in
+  Hashtbl.replace t.kthreads (app_id, core) kt;
+  kt
+
+let create machine kmod ~dispatcher_core ~worker_cores ~quantum
+    ?(mechanism = skyloft_mechanism) ?(be_reclaim = Reclaim_periodic (Time.us 5)) ctor =
+  if worker_cores = [] then invalid_arg "Centralized.create: no worker cores";
+  if List.mem dispatcher_core worker_cores then
+    invalid_arg "Centralized.create: dispatcher core cannot also be a worker";
+  let workers =
+    Array.of_list
+      (List.map
+         (fun core_id ->
+           {
+             core_id;
+             current = None;
+             completion = None;
+             gen = 0;
+             reserved = false;
+             busy_from = 0;
+             active_app = 0;
+           })
+         worker_cores)
+  in
+  let t =
+    {
+      machine;
+      engine = Machine.engine machine;
+      kmod;
+      dispatcher_core;
+      workers;
+      mech = mechanism;
+      quantum;
+      be_reclaim;
+      policy = Sched_ops.null_instance;
+      disp_busy_until = 0;
+      kthreads = Hashtbl.create 64;
+      apps = [];
+      daemon = App.daemon ();
+      be_app = None;
+      be_queue = Runqueue.create ();
+      lc_queued = ref 0;
+      preempts = 0;
+      be_preempts = 0;
+      dispatches = 0;
+    }
+  in
+  t.policy <- count_queue t.lc_queued (ctor (worker_view t));
+  Array.iter
+    (fun w ->
+      let kt = register_kthread t 0 w.core_id in
+      ignore (Kmod.activate kmod kt))
+    workers;
+  (* Shenango-style periodic congestion check: while LC work is queued,
+     reclaim cores from the batch application. *)
+  (match be_reclaim with
+  | Reclaim_periodic period ->
+      Engine.every t.engine ~period (fun () ->
+          let want = queue_length t in
+          if want > 0 then begin
+            let reclaimed = ref 0 in
+            Array.iter
+              (fun w ->
+                if !reclaimed < want && preempt_be_worker t w then incr reclaimed)
+              t.workers
+          end;
+          true)
+  | Reclaim_immediate -> ());
+  t
+
+let create_app t ~name =
+  let app = App.create ~name in
+  t.apps <- app :: t.apps;
+  Array.iter (fun w -> ignore (register_kthread t app.App.id w.core_id)) t.workers;
+  app
+
+let attach_be_app t app ~chunk ~workers =
+  if t.be_app <> None then invalid_arg "Centralized.attach_be_app: BE app already set";
+  if not (List.exists (fun a -> a == app) t.apps) then
+    invalid_arg "Centralized.attach_be_app: app not created by this runtime";
+  t.be_app <- Some app;
+  for i = 1 to workers do
+    (* A batch worker is an endless sequence of compute chunks, yielding
+       between chunks so reclaimed cores come back promptly. *)
+    let rec loop () = Coro.Compute (chunk, fun () -> Coro.Yield loop) in
+    let task =
+      Task.create ~app:app.App.id ~name:(Printf.sprintf "be-%d" i) (loop ())
+    in
+    app.App.spawned <- app.App.spawned + 1;
+    app.App.tasks_alive <- app.App.tasks_alive + 1;
+    Runqueue.push_tail t.be_queue task
+  done;
+  Array.iter (fun w -> try_next t w) t.workers
+
+let pump t =
+  let made_progress = ref true in
+  while !made_progress do
+    made_progress := false;
+    if queue_length t > 0 then
+      match
+        Array.to_list t.workers
+        |> List.find_opt (fun w -> w.current = None && not w.reserved)
+      with
+      | Some w ->
+          try_next t w;
+          made_progress := true
+      | None -> ()
+  done;
+  (* No free worker: under immediate reclaim, kick BE work off a core. *)
+  if queue_length t > 0 && t.be_reclaim = Reclaim_immediate then begin
+    let want = queue_length t in
+    let reclaimed = ref 0 in
+    Array.iter
+      (fun w -> if !reclaimed < want && preempt_be_worker t w then incr reclaimed)
+      t.workers
+  end
+
+let submit t app ?(service = 0) ?(record = true) ~name body =
+  let arrival = now t in
+  let on_exit =
+    if record then
+      Some
+        (fun (task : Task.t) ->
+          if task.Task.service > 0 then
+            Summary.record_request app.App.summary ~arrival:task.arrival
+              ~completion:(now t) ~service:task.service)
+    else None
+  in
+  let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
+  app.App.spawned <- app.App.spawned + 1;
+  app.App.tasks_alive <- app.App.tasks_alive + 1;
+  t.policy.task_init task;
+  t.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_new task;
+  pump t;
+  task
+
+let wakeup t (task : Task.t) =
+  match task.state with
+  | Task.Blocked ->
+      task.state <- Task.Runnable;
+      task.resuming <- true;
+      task.wake_time <- Some (now t);
+      ignore (t.policy.task_wakeup ~waker_cpu:t.dispatcher_core task);
+      pump t
+  | Task.Running | Task.Runnable -> task.pending_wake <- true
+  | Task.Exited -> ()
+
+let preemptions t = t.preempts
+let dispatches t = t.dispatches
+let be_preemptions t = t.be_preempts
+
+let worker_busy_ns t =
+  List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps

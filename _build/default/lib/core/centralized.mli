@@ -1,0 +1,90 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+
+(** The centralized Skyloft runtime (Figure 2b): a dedicated dispatcher
+    core owns a global runqueue, assigns requests to worker cores, and
+    preempts over-quantum requests with user IPIs (Shinjuku-style
+    processor sharing, §5.2).
+
+    The dispatcher is modelled as a serial resource: every operation
+    (assignment, preemption send, congestion check) occupies it for the
+    mechanism's cost, so a saturated dispatcher becomes the bottleneck —
+    the scalability ceiling the paper attributes to centralized designs.
+
+    The same runtime also hosts the ghOSt and original-Shinjuku baselines
+    by swapping the {!mechanism} cost vector: ghOSt pays kernel-transaction
+    dispatch costs and kernel-IPI preemption; Shinjuku pays posted
+    interrupts.  A best-effort (BE) application can be co-scheduled:
+    workers fall back to BE work when the LC queue is empty, and BE cores
+    are reclaimed when congestion is detected (Shenango's core-allocation
+    policy, §5.2 "Multiple workloads"). *)
+
+(** Cost vector of the preemption/dispatch mechanism. *)
+type mechanism = {
+  mech_name : string;
+  dispatch_cost : Time.t;  (** dispatcher work per assignment decision *)
+  preempt_send : Time.t;  (** dispatcher-side send cost *)
+  preempt_delivery : Time.t;  (** send-to-handler latency at the worker *)
+  preempt_receive : Time.t;  (** worker-side handling overhead *)
+  worker_switch : Time.t;  (** worker-side task switch cost *)
+}
+
+val skyloft_mechanism : mechanism
+(** User IPIs + user-level task switch (Table 6 / Table 7). *)
+
+val shinjuku_mechanism : mechanism
+(** Dune posted interrupts: slightly costlier delivery than user IPIs. *)
+
+val ghost_mechanism : mechanism
+(** ghOSt: transaction-commit dispatch, kernel-IPI preemption, kernel
+    thread switches — the §5.2 explanation of its lower throughput and
+    higher low-load tail latency. *)
+
+(** When best-effort cores are reclaimed for latency-critical work. *)
+type be_reclaim =
+  | Reclaim_immediate  (** preempt a BE worker the moment an LC request
+                           cannot be placed *)
+  | Reclaim_periodic of Time.t
+      (** Shenango-style: a congestion check every interval preempts BE
+          workers while LC work is queued (the paper uses 5 µs) *)
+
+type t
+
+val create :
+  Machine.t ->
+  Kmod.t ->
+  dispatcher_core:int ->
+  worker_cores:int list ->
+  quantum:Time.t ->
+  ?mechanism:mechanism ->
+  ?be_reclaim:be_reclaim ->
+  Sched_ops.ctor ->
+  t
+(** [quantum <= 0] disables quantum preemption (run-to-completion). *)
+
+val create_app : t -> name:string -> App.t
+
+val attach_be_app : t -> App.t -> chunk:Time.t -> workers:int -> unit
+(** Give the BE application [workers] batch worker tasks, each an endless
+    sequence of [chunk]-sized compute segments.  They run only on cores the
+    LC load leaves idle. *)
+
+val submit :
+  t -> App.t -> ?service:Time.t -> ?record:bool -> name:string -> Coro.t -> Task.t
+(** Enqueue a latency-critical request; the dispatcher assigns it to a
+    worker (preempting BE work if needed). *)
+
+val wakeup : t -> Task.t -> unit
+val now : t -> Time.t
+val quantum : t -> Time.t
+val preemptions : t -> int
+val dispatches : t -> int
+val queue_length : t -> int
+(** Tasks currently waiting in the LC runqueue (excludes running). *)
+
+val worker_busy_ns : t -> int
+(** Total busy time across workers (all applications). *)
+
+val be_preemptions : t -> int

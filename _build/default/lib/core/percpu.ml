@@ -1,0 +1,472 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+module Engine = Skyloft_sim.Engine
+module Eventq = Skyloft_sim.Eventq
+module Machine = Skyloft_hw.Machine
+module Costs = Skyloft_hw.Costs
+module Vectors = Skyloft_hw.Vectors
+module Kmod = Skyloft_kernel.Kmod
+module Histogram = Skyloft_stats.Histogram
+module Summary = Skyloft_stats.Summary
+module Trace = Skyloft_stats.Trace
+
+type cpu = {
+  core_id : int;
+  mutable current : Task.t option;
+  mutable completion : Eventq.handle option;
+  mutable busy_from : Time.t;
+  mutable active_app : int;
+  mutable kick_pending : bool;
+  mutable parked : bool;  (* yielded to the kernel while idle (Shenango) *)
+  mutable idle_gen : int;  (* invalidates stale park timers *)
+}
+
+type t = {
+  machine : Machine.t;
+  engine : Engine.t;
+  kmod : Kmod.t;
+  cores : int array;
+  cpus : cpu array;
+  by_core : (int, cpu) Hashtbl.t;
+  kthreads : (int * int, Kmod.kthread) Hashtbl.t;  (* (app, core) -> kthread *)
+  mutable apps : App.t list;
+  daemon : App.t;
+  mutable policy : Sched_ops.instance;
+  timer_hz : int;
+  preemption : bool;
+  park : (Time.t * Time.t) option;  (* (idle_after, resume_cost) *)
+  wakeups : Histogram.t;
+  mutable switches : int;
+  mutable app_switches : int;
+  mutable preempts : int;
+  mutable ticks : int;
+  mutable rr_spawn : int;  (* round-robin spawn placement cursor *)
+  uvec_handlers : (int, int -> unit) Hashtbl.t;
+      (* user-delegated device interrupts: uvec -> handler (gets core id) *)
+  mutable trace : Trace.t option;
+}
+
+let now t = Engine.now t.engine
+let cpu_of t core = Hashtbl.find t.by_core core
+
+let is_idle t ~core =
+  match Hashtbl.find_opt t.by_core core with
+  | Some cpu -> cpu.current = None
+  | None -> false
+
+let view t =
+  {
+    Sched_ops.cores = t.cores;
+    is_idle = (fun core -> is_idle t ~core);
+    now = (fun () -> now t);
+  }
+
+(* ---- per-application CPU accounting ------------------------------------ *)
+
+let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = id) t.apps
+
+let account t cpu =
+  (match cpu.current with
+  | Some task ->
+      let app = find_app t task.Task.app in
+      app.App.busy_ns <- app.App.busy_ns + max 0 (now t - cpu.busy_from);
+      (match t.trace with
+      | Some trace when now t > cpu.busy_from ->
+          Trace.span trace ~core:cpu.core_id ~app:task.Task.app ~name:task.Task.name
+            ~start:cpu.busy_from ~stop:(now t)
+      | _ -> ())
+  | None -> ());
+  cpu.busy_from <- now t
+
+let trace_instant t ~core kind name =
+  match t.trace with
+  | Some trace -> Trace.instant trace ~core ~at:(now t) kind ~name
+  | None -> ()
+
+(* ---- dispatch & the main loop ------------------------------------------ *)
+
+let rec process t cpu (task : Task.t) =
+  match task.body with
+  | Coro.Compute (d, k) ->
+      task.cont <- k;
+      task.segment_end <- now t + d;
+      cpu.completion <-
+        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t cpu task))
+  | Coro.Yield _ ->
+      (* continuation evaluated at the next dispatch (resume time) *)
+      task.state <- Task.Runnable;
+      account t cpu;
+      cpu.current <- None;
+      t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_yielded task;
+      schedule t cpu ~prev:(Some task)
+  | Coro.Block k ->
+      if task.pending_wake then begin
+        task.pending_wake <- false;
+        task.body <- k ();
+        process t cpu task
+      end
+      else begin
+        task.body <- Coro.Block k;
+        task.state <- Task.Blocked;
+        account t cpu;
+        cpu.current <- None;
+        t.policy.task_block ~cpu:cpu.core_id task;
+        schedule t cpu ~prev:(Some task)
+      end
+  | Coro.Exit ->
+      task.state <- Task.Exited;
+      account t cpu;
+      cpu.current <- None;
+      let app = find_app t task.app in
+      app.App.completed <- app.App.completed + 1;
+      app.App.tasks_alive <- app.App.tasks_alive - 1;
+      t.policy.task_terminate task;
+      (match task.on_exit with Some f -> f task | None -> ());
+      schedule t cpu ~prev:(Some task)
+
+and on_complete t cpu (task : Task.t) =
+  cpu.completion <- None;
+  task.body <- task.cont ();
+  process t cpu task
+
+and dispatch t cpu (task : Task.t) ~switch_cost =
+  task.state <- Task.Running;
+  cpu.current <- Some task;
+  cpu.busy_from <- now t;
+  let start = now t + switch_cost in
+  (match task.wake_time with
+  | Some w ->
+      if task.track_wakeup then Histogram.record t.wakeups (start - w);
+      task.wake_time <- None
+  | None -> ());
+  task.run_start <- start;
+  task.last_core <- cpu.core_id;
+  let continue () =
+    match cpu.current with
+    | Some cur when cur == task && task.state = Task.Running ->
+        (match task.body with
+        | Coro.Yield k -> task.body <- k ()
+        | Coro.Block k when task.resuming ->
+            task.resuming <- false;
+            task.body <- k ()
+        | Coro.Block _ | Coro.Compute _ | Coro.Exit -> ());
+        process t cpu task
+    | _ -> ()
+  in
+  ignore (Engine.after t.engine switch_cost continue)
+
+and schedule t cpu ~prev =
+  let next =
+    match t.policy.task_dequeue ~cpu:cpu.core_id with
+    | Some task -> Some task
+    | None -> t.policy.sched_balance ~cpu:cpu.core_id
+  in
+  match next with
+  | None ->
+      cpu.current <- None;
+      cpu.idle_gen <- cpu.idle_gen + 1;
+      (* Shenango-style runtimes return idle cores to the kernel; waking a
+         parked core later costs a kernel wakeup. *)
+      (match t.park with
+      | Some (idle_after, _) ->
+          let gen = cpu.idle_gen in
+          ignore
+            (Engine.after t.engine idle_after (fun () ->
+                 if cpu.current = None && cpu.idle_gen = gen then cpu.parked <- true))
+      | None -> ())
+  | Some task ->
+      let unpark_cost =
+        if cpu.parked then begin
+          cpu.parked <- false;
+          match t.park with Some (_, resume_cost) -> resume_cost | None -> 0
+        end
+        else 0
+      in
+      let same = match prev with Some p -> p == task | None -> false in
+      let cost =
+        if same then 0
+        else if task.Task.app = cpu.active_app then begin
+          t.switches <- t.switches + 1;
+          Costs.uthread_yield_ns
+        end
+        else begin
+          (* Cross-application switch through the kernel module (§3.3). *)
+          let from_kt = Hashtbl.find t.kthreads (cpu.active_app, cpu.core_id) in
+          let to_kt = Hashtbl.find t.kthreads (task.Task.app, cpu.core_id) in
+          let cost = Kmod.switch_to t.kmod ~from:from_kt ~target:to_kt in
+          cpu.active_app <- task.Task.app;
+          t.app_switches <- t.app_switches + 1;
+          trace_instant t ~core:cpu.core_id Trace.App_switch task.Task.name;
+          cost
+        end
+      in
+      dispatch t cpu task ~switch_cost:(cost + unpark_cost)
+
+(* ---- preemption --------------------------------------------------------- *)
+
+let preempt_current t cpu =
+  match (cpu.current, cpu.completion) with
+  | Some task, Some h ->
+      Eventq.cancel h;
+      cpu.completion <- None;
+      let remaining = max 0 (task.segment_end - now t) in
+      task.body <- Coro.Compute (remaining, task.cont);
+      task.state <- Task.Runnable;
+      account t cpu;
+      cpu.current <- None;
+      t.preempts <- t.preempts + 1;
+      trace_instant t ~core:cpu.core_id Trace.Preempt task.Task.name;
+      t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_preempted task;
+      schedule t cpu ~prev:(Some task)
+  | _ -> ()
+
+(* Interrupt handling steals CPU time from the running segment. *)
+let steal_time t cpu cost =
+  match (cpu.current, cpu.completion) with
+  | Some task, Some h ->
+      Eventq.cancel h;
+      task.segment_end <- task.segment_end + cost;
+      cpu.completion <-
+        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t cpu task))
+  | _ -> ()
+
+let kick t cpu =
+  if cpu.current = None && not cpu.kick_pending then begin
+    cpu.kick_pending <- true;
+    ignore
+      (Engine.after t.engine 0 (fun () ->
+           cpu.kick_pending <- false;
+           if cpu.current = None then schedule t cpu ~prev:None))
+  end
+
+let kick_core t core = kick t (cpu_of t core)
+
+(* After enqueueing work, make sure some idle core will notice it. *)
+let kick_some_idle t =
+  match Sched_ops.pick_idle (view t) with Some core -> kick_core t core | None -> ()
+
+(* ---- the global user-interrupt handler (Listing 1) ---------------------- *)
+
+let on_tick t cpu =
+  t.ticks <- t.ticks + 1;
+  steal_time t cpu (Costs.user_timer_receive_ns + Costs.senduipi_sn_ns);
+  (match (cpu.current, cpu.completion) with
+  | Some task, Some _ ->
+      if t.policy.sched_timer_tick ~cpu:cpu.core_id task then preempt_current t cpu
+  | _ -> kick t cpu)
+
+let on_preempt_ipi t cpu =
+  steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
+  match (cpu.current, cpu.completion) with
+  | Some task, Some _ ->
+      if t.policy.sched_timer_tick ~cpu:cpu.core_id task then preempt_current t cpu
+  | _ -> kick t cpu
+
+let uintr_handler t cpu ctx ~uvec =
+  if uvec = Vectors.uvec_timer then begin
+    (* Reset UPID.PIR so the next hardware timer interrupt is recognised
+       (Listing 1 line 5) — only on a timer-delegated context (SN set). *)
+    if Machine.uintr_sn ctx then
+      Machine.senduipi t.machine ~src_core:cpu.core_id ctx ~uvec:Vectors.uvec_timer;
+    on_tick t cpu
+  end
+  else if uvec = Vectors.uvec_preempt then on_preempt_ipi t cpu
+  else
+    (* Delegated peripheral interrupt (§6): charge the receive overhead and
+       run the registered driver handler in user space. *)
+    match Hashtbl.find_opt t.uvec_handlers uvec with
+    | Some handler ->
+        steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
+        handler cpu.core_id
+    | None -> ()
+
+(* ---- construction -------------------------------------------------------- *)
+
+let register_kthread t app_id core =
+  let kt = Kmod.park_on_cpu t.kmod ~app:app_id ~core in
+  Hashtbl.replace t.kthreads (app_id, core) kt;
+  let cpu = cpu_of t core in
+  let ctx = Kmod.uintr_ctx kt in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification
+    (uintr_handler t cpu ctx);
+  if t.preemption then begin
+    (* §3.2 timer delegation: UINV <- timer vector, SN <- 1 (kernel module),
+       then prime the PIR with a suppressed self-SENDUIPI so the first
+       hardware timer interrupt is recognised in user space. *)
+    Kmod.timer_enable t.kmod kt;
+    Machine.senduipi t.machine ~src_core:core ctx ~uvec:Vectors.uvec_timer
+  end;
+  kt
+
+let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park ctor =
+  if cores = [] then invalid_arg "Percpu.create: no cores";
+  let cores_arr = Array.of_list cores in
+  let cpus =
+    Array.map
+      (fun core_id ->
+        {
+          core_id;
+          current = None;
+          completion = None;
+          busy_from = 0;
+          active_app = 0;
+          kick_pending = false;
+          parked = false;
+          idle_gen = 0;
+        })
+      cores_arr
+  in
+  let t =
+    {
+      machine;
+      engine = Machine.engine machine;
+      kmod;
+      cores = cores_arr;
+      cpus;
+      by_core = Hashtbl.create 64;
+      kthreads = Hashtbl.create 64;
+      apps = [];
+      daemon = App.daemon ();
+      policy = Sched_ops.null_instance;
+      timer_hz;
+      preemption;
+      park;
+      wakeups = Histogram.create ();
+      switches = 0;
+      app_switches = 0;
+      preempts = 0;
+      ticks = 0;
+      rr_spawn = 0;
+      uvec_handlers = Hashtbl.create 8;
+      trace = None;
+    }
+  in
+  Array.iter (fun cpu -> Hashtbl.replace t.by_core cpu.core_id cpu) cpus;
+  t.policy <- ctor (view t);
+  (* The daemon occupies every isolated core first (§4.1). *)
+  Array.iter
+    (fun core ->
+      let kt = register_kthread t 0 core in
+      ignore (Kmod.activate kmod kt))
+    cores_arr;
+  if preemption then
+    Array.iter
+      (fun core -> ignore (Kmod.timer_set_hz kmod ~core ~hz:timer_hz))
+      cores_arr;
+  t
+
+let create_app t ~name =
+  let app = App.create ~name in
+  t.apps <- app :: t.apps;
+  Array.iter (fun core -> ignore (register_kthread t app.App.id core)) t.cores;
+  app
+
+let pick_spawn_cpu t =
+  match Sched_ops.pick_idle (view t) with
+  | Some core -> core
+  | None ->
+      let core = t.cores.(t.rr_spawn mod Array.length t.cores) in
+      t.rr_spawn <- t.rr_spawn + 1;
+      core
+
+let spawn t app ~name ?cpu ?arrival ?service ?(record = true) body =
+  let arrival = match arrival with Some a -> a | None -> now t in
+  let service = match service with Some s -> s | None -> 0 in
+  let on_exit =
+    if record then
+      Some
+        (fun (task : Task.t) ->
+          if task.Task.service > 0 then
+            Summary.record_request app.App.summary ~arrival:task.arrival
+              ~completion:(now t) ~service:task.service)
+    else None
+  in
+  let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
+  app.App.spawned <- app.App.spawned + 1;
+  app.App.tasks_alive <- app.App.tasks_alive + 1;
+  let target = match cpu with Some c -> c | None -> pick_spawn_cpu t in
+  task.last_core <- target;
+  t.policy.task_init task;
+  t.policy.task_enqueue ~cpu:target ~reason:Sched_ops.Enq_new task;
+  if is_idle t ~core:target then kick_core t target else kick_some_idle t;
+  task
+
+(* §6 "Blocking events": the running task hits a page fault (or a blocking
+   syscall).  The userfaultfd-style monitor blocks the task and lets the
+   scheduler run other work — possibly another application's — on the core
+   for the fault's duration, without violating the Single Binding Rule
+   (the kthread stays bound; only the user thread sleeps). *)
+let rec fault_current t ~core ~duration =
+  if duration <= 0 then invalid_arg "Percpu.fault_current: duration must be positive";
+  let cpu = cpu_of t core in
+  match (cpu.current, cpu.completion) with
+  | Some task, Some h ->
+      Eventq.cancel h;
+      cpu.completion <- None;
+      let remaining = max 0 (task.segment_end - now t) in
+      task.body <- Coro.Compute (remaining, task.cont);
+      task.state <- Task.Blocked;
+      account t cpu;
+      cpu.current <- None;
+      t.policy.task_block ~cpu:core task;
+      trace_instant t ~core Trace.Fault task.Task.name;
+      ignore (Engine.after t.engine duration (fun () -> wakeup_task t task));
+      schedule t cpu ~prev:(Some task);
+      true
+  | _ -> false
+
+and wakeup_task t ?waker_cpu task =
+  match task.Task.state with
+  | Task.Blocked ->
+      task.Task.state <- Task.Runnable;
+      task.Task.resuming <- true;
+      task.Task.wake_time <- Some (now t);
+      trace_instant t ~core:task.Task.last_core Trace.Wakeup task.Task.name;
+      let waker_cpu =
+        match waker_cpu with Some c when c >= 0 -> c | _ -> task.Task.last_core
+      in
+      let target = t.policy.task_wakeup ~waker_cpu task in
+      if is_idle t ~core:target then kick_core t target else kick_some_idle t
+  | Task.Running | Task.Runnable -> task.Task.pending_wake <- true
+  | Task.Exited -> ()
+
+let wakeup t ?(waker_cpu = -1) (task : Task.t) = wakeup_task t ~waker_cpu task
+
+(* A dedicated core emulating a timer by broadcasting user IPIs to every
+   worker core (the "utimer" of §5.3/§5.4).  Needs [preemption:false] so
+   the receiver contexts keep the plain notification vector. *)
+let start_utimer t ~src_core ~hz =
+  if hz <= 0 then invalid_arg "Percpu.start_utimer: hz must be positive";
+  let period = max 1 (1_000_000_000 / hz) in
+  Engine.every t.engine ~period (fun () ->
+      Array.iter
+        (fun dst_core ->
+          match Machine.uintr_installed t.machine ~core:dst_core with
+          | Some ctx ->
+              Machine.senduipi t.machine ~src_core ctx ~uvec:Vectors.uvec_preempt
+          | None -> ())
+        t.cores;
+      true)
+
+let register_uvec t ~uvec handler =
+  if uvec = Vectors.uvec_timer || uvec = Vectors.uvec_preempt then
+    invalid_arg "Percpu.register_uvec: reserved uvec";
+  Hashtbl.replace t.uvec_handlers uvec handler
+
+let preempt_core t ~src_core ~dst_core =
+  match Machine.uintr_installed t.machine ~core:dst_core with
+  | Some ctx -> Machine.senduipi t.machine ~src_core ctx ~uvec:Vectors.uvec_preempt
+  | None -> ()
+
+let current t ~core = (cpu_of t core).current
+let wakeup_hist t = t.wakeups
+let task_switches t = t.switches
+let app_switches t = t.app_switches
+let preemptions t = t.preempts
+let timer_ticks t = t.ticks
+
+let total_busy_ns t =
+  List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps
+
+let apps t = t.apps
+let set_trace t trace = t.trace <- Some trace

@@ -1,0 +1,109 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Histogram = Skyloft_stats.Histogram
+module Trace = Skyloft_stats.Trace
+
+(** The per-CPU Skyloft runtime (Figure 2a).
+
+    Each isolated core runs the main scheduling loop: dequeue from the
+    policy's runqueue, run the task, balance when idle.  Preemption comes
+    from user-space timer interrupts — the LAPIC timer delegated through
+    UINTR per §3.2 — handled by the global user-interrupt handler of
+    Listing 1.  Tasks from multiple applications share the runqueues; a
+    switch to a task of a different application goes through the kernel
+    module ({!Kmod.switch_to}), charging the inter-application switch cost.
+
+    Costs charged per event:
+    - intra-application task switch: {!Skyloft_hw.Costs.uthread_yield_ns}
+    - inter-application task switch: {!Skyloft_hw.Costs.app_switch_ns}
+    - each timer tick: user-timer receive + the SN re-post SENDUIPI
+    - preemption via user IPI (from [preempt_core]): UIPI delivery and
+      receive costs. *)
+
+type t
+
+val create :
+  Machine.t ->
+  Kmod.t ->
+  cores:int list ->
+  ?timer_hz:int ->
+  ?preemption:bool ->
+  ?park:Time.t * Time.t ->
+  Sched_ops.ctor ->
+  t
+(** Build the runtime on the isolated [cores].  When [preemption] (default
+    true), every core's LAPIC timer is programmed at [timer_hz] (default
+    100,000 — Table 5) and delegated to user space.  The policy constructor
+    receives the runtime's {!Sched_ops.view}.
+
+    [park = (idle_after, resume_cost)] models Shenango-style core
+    reallocation: a core idle for [idle_after] is returned to the kernel,
+    and handing it back to the runtime costs [resume_cost] extra on the
+    next dispatch — the "frequent core adjustments, yielding and wake-ups"
+    the paper blames for Shenango's low-load tail (§5.3).  Skyloft itself
+    does not park (idle loops keep spinning). *)
+
+val create_app : t -> name:string -> App.t
+(** Launch an application: registers one parked kernel thread per isolated
+    core with the kernel module. *)
+
+val spawn :
+  t -> App.t -> name:string -> ?cpu:int -> ?arrival:Time.t -> ?service:Time.t ->
+  ?record:bool -> Coro.t -> Task.t
+(** Create a task.  [cpu] pins initial placement (default: an idle core,
+    else round-robin).  When [record] (default true) the task's completion
+    is recorded into the application's {!App.t.summary}. *)
+
+val wakeup : t -> ?waker_cpu:int -> Task.t -> unit
+(** [task_wakeup]: make a blocked task runnable again (placement is the
+    policy's choice).  Waking a non-blocked task sets its pending-wake
+    flag. *)
+
+val fault_current : t -> core:int -> duration:Time.t -> bool
+(** §6 "Blocking events": block the task currently running on [core] for
+    [duration] (a page fault or blocking syscall observed by the
+    userfaultfd monitor) and reschedule other work — possibly another
+    application's — on the core meanwhile.  [false] if the core was not
+    running a task. *)
+
+val register_uvec : t -> uvec:int -> (int -> unit) -> unit
+(** Register a user-space driver handler for a delegated peripheral
+    interrupt (§6): when user vector [uvec] is recognised on a managed
+    core, the runtime charges the user-IPI receive cost and calls the
+    handler with the core id.  Vectors 0 (timer) and 1 (preempt) are
+    reserved. *)
+
+val start_utimer : t -> src_core:int -> hz:int -> unit
+(** Emulate per-CPU timers from a dedicated core ([src_core], outside the
+    managed set) that broadcasts preemption user IPIs at [hz] to every
+    worker (the "utimer" of §5.3).  Requires [preemption:false].  Costs a
+    whole core and pays cross-core IPI latency per tick — the paper
+    measures a 13% performance loss versus LAPIC timer delegation. *)
+
+val preempt_core : t -> src_core:int -> dst_core:int -> unit
+(** Send a preemption user IPI from [src_core] to [dst_core] (dispatcher
+    style, Figure 2b).  The receiving core's handler re-enqueues its
+    current task and reschedules. *)
+
+val now : t -> Time.t
+val current : t -> core:int -> Task.t option
+val is_idle : t -> core:int -> bool
+val wakeup_hist : t -> Histogram.t
+val task_switches : t -> int
+val app_switches : t -> int
+val preemptions : t -> int
+val timer_ticks : t -> int
+val total_busy_ns : t -> int
+(** Sum of per-application busy time. *)
+
+val apps : t -> App.t list
+(** Applications created on this runtime (excluding the daemon). *)
+
+val set_trace : t -> Trace.t -> unit
+(** Record scheduling activity (run spans, preemptions, wakeups,
+    application switches, faults) into [trace]; export with
+    {!Skyloft_stats.Trace.to_chrome_json}. *)
+
+val view : t -> Sched_ops.view

@@ -1,0 +1,74 @@
+type node = { task : Task.t; mutable prev : node option; mutable next : node option }
+
+type t = {
+  mutable head : node option;
+  mutable tail : node option;
+  mutable len : int;
+  nodes : (int, node) Hashtbl.t;  (* task id -> node, for O(1) removal *)
+}
+
+let create () = { head = None; tail = None; len = 0; nodes = Hashtbl.create 16 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push_tail t task =
+  if Hashtbl.mem t.nodes task.Task.id then invalid_arg "Runqueue: task already queued";
+  let node = { task; prev = t.tail; next = None } in
+  (match t.tail with Some old -> old.next <- Some node | None -> t.head <- Some node);
+  t.tail <- Some node;
+  t.len <- t.len + 1;
+  Hashtbl.replace t.nodes task.Task.id node
+
+let push_head t task =
+  if Hashtbl.mem t.nodes task.Task.id then invalid_arg "Runqueue: task already queued";
+  let node = { task; prev = None; next = t.head } in
+  (match t.head with Some old -> old.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node;
+  t.len <- t.len + 1;
+  Hashtbl.replace t.nodes task.Task.id node
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  t.len <- t.len - 1;
+  Hashtbl.remove t.nodes node.task.Task.id
+
+let pop_head t =
+  match t.head with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Some node.task
+
+let pop_tail t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Some node.task
+
+let peek_head t = match t.head with None -> None | Some node -> Some node.task
+
+let remove t task =
+  match Hashtbl.find_opt t.nodes task.Task.id with
+  | None -> false
+  | Some node ->
+      unlink t node;
+      true
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+        let next = node.next in
+        f node.task;
+        go next
+  in
+  go t.head
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun task -> acc := task :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,23 @@
+(** FIFO deque of tasks, the building block for policy runqueues.
+
+    Supports head/tail insertion (preempted tasks often go back to the head
+    or tail depending on the policy), O(1) push/pop at both ends, and
+    removal of a specific task.  Implemented as a doubly linked list so
+    work-stealing policies can steal from the tail while the owner pops the
+    head. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push_tail : t -> Task.t -> unit
+val push_head : t -> Task.t -> unit
+val pop_head : t -> Task.t option
+val pop_tail : t -> Task.t option
+val peek_head : t -> Task.t option
+val remove : t -> Task.t -> bool
+(** [remove q task] takes [task] out of [q]; [false] if it was not there. *)
+
+val iter : (Task.t -> unit) -> t -> unit
+val to_list : t -> Task.t list

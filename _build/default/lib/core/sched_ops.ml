@@ -1,0 +1,50 @@
+module Time = Skyloft_sim.Time
+
+type view = { cores : int array; is_idle : int -> bool; now : unit -> Time.t }
+type reason = Enq_new | Enq_preempted | Enq_woken | Enq_yielded
+
+type instance = {
+  policy_name : string;
+  task_init : Task.t -> unit;
+  task_terminate : Task.t -> unit;
+  task_enqueue : cpu:int -> reason:reason -> Task.t -> unit;
+  task_dequeue : cpu:int -> Task.t option;
+  task_block : cpu:int -> Task.t -> unit;
+  task_wakeup : waker_cpu:int -> Task.t -> int;
+  sched_timer_tick : cpu:int -> Task.t -> bool;
+  sched_balance : cpu:int -> Task.t option;
+}
+
+type ctor = view -> instance
+
+let no_balance ~cpu:_ = None
+
+(* Inert policy: used as an initialisation placeholder and in tests. *)
+let null_instance =
+  {
+    policy_name = "null";
+    task_init = ignore;
+    task_terminate = ignore;
+    task_enqueue = (fun ~cpu:_ ~reason:_ _ -> ());
+    task_dequeue = (fun ~cpu:_ -> None);
+    task_block = (fun ~cpu:_ _ -> ());
+    task_wakeup = (fun ~waker_cpu _ -> waker_cpu);
+    sched_timer_tick = (fun ~cpu:_ _ -> false);
+    sched_balance = no_balance;
+  }
+
+let pick_idle view =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun core ->
+         if view.is_idle core then begin
+           found := Some core;
+           raise Exit
+         end)
+       view.cores
+   with Exit -> ());
+  !found
+
+let wakeup_to_idle_or view ~fallback =
+  match pick_idle view with Some core -> core | None -> fallback

@@ -1,0 +1,68 @@
+module Time = Skyloft_sim.Time
+
+(** The paper's general scheduling operations (Table 2).
+
+    A scheduling policy is a value of type {!instance} — a record of the
+    operations in Table 2 — produced by a constructor that receives a
+    {!view} of the runtime.  The per-CPU and centralized runtimes are each
+    written once against this interface; implementing a new policy means
+    implementing this record, which is why Skyloft policies are a few
+    hundred lines where kernel schedulers are thousands (Table 4).
+
+    Conventions:
+    - Runqueue state lives inside the instance's closures.
+    - Per-task policy data lives in the [policy_*] fields of {!Task.t}.
+    - [task.run_start] (maintained by the runtime) is when the task last
+      started running; policies use it for slice accounting.
+    - Centralized policies ignore the [cpu] argument of queue operations
+      and treat their single queue as global. *)
+
+type view = {
+  cores : int array;  (** worker core ids managed by this scheduler *)
+  is_idle : int -> bool;  (** is this core currently running nothing? *)
+  now : unit -> Time.t;
+}
+
+(** Why a task is entering the runqueue: policies commonly place preempted
+    tasks differently from fresh or woken ones. *)
+type reason = Enq_new | Enq_preempted | Enq_woken | Enq_yielded
+
+type instance = {
+  policy_name : string;
+  task_init : Task.t -> unit;
+      (** initialise the policy-defined fields of a new task *)
+  task_terminate : Task.t -> unit;
+      (** release policy state when a task finishes *)
+  task_enqueue : cpu:int -> reason:reason -> Task.t -> unit;
+      (** put a task into the runqueue of [cpu] *)
+  task_dequeue : cpu:int -> Task.t option;
+      (** select and remove the next task to run on [cpu] *)
+  task_block : cpu:int -> Task.t -> unit;
+      (** the current task of [cpu] is suspending (account its runtime) *)
+  task_wakeup : waker_cpu:int -> Task.t -> int;
+      (** place a woken task: choose a core, enqueue there, return the
+          chosen core so the runtime can kick it *)
+  sched_timer_tick : cpu:int -> Task.t -> bool;
+      (** timer-tick policy update for the running task; [true] requests a
+          reschedule (the task will be preempted) *)
+  sched_balance : cpu:int -> Task.t option;
+      (** load balancing for an idle [cpu] (per-CPU policies): return a
+          task stolen from another runqueue, if any *)
+}
+
+type ctor = view -> instance
+
+val no_balance : cpu:int -> Task.t option
+(** A [sched_balance] that never steals (centralized and single-queue
+    policies). *)
+
+val null_instance : instance
+(** An inert policy (empty queues, never preempts): initialisation
+    placeholder and test double. *)
+
+val pick_idle : view -> int option
+(** First idle managed core, if any. *)
+
+val wakeup_to_idle_or : view -> fallback:int -> int
+(** Default wakeup placement: an idle core when available, otherwise
+    [fallback]. *)

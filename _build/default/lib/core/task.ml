@@ -1,0 +1,64 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+
+type state = Runnable | Running | Blocked | Exited
+
+type t = {
+  id : int;
+  app : int;
+  name : string;
+  mutable state : state;
+  mutable body : Coro.t;
+  mutable cont : unit -> Coro.t;
+  mutable segment_end : Time.t;
+  mutable last_core : int;
+  mutable run_start : Time.t;
+  mutable wake_time : Time.t option;
+  mutable pending_wake : bool;
+  mutable resuming : bool;
+  mutable track_wakeup : bool;
+  mutable enqueue_time : Time.t;
+  mutable policy_f1 : float;
+  mutable policy_f2 : float;
+  mutable policy_i : int;
+  mutable arrival : Time.t;
+  mutable service : Time.t;
+  mutable on_exit : (t -> unit) option;
+}
+
+let counter = ref 0
+
+let create ~app ~name ?(arrival = 0) ?(service = 0) ?on_exit body =
+  incr counter;
+  {
+    id = !counter;
+    app;
+    name;
+    state = Runnable;
+    body;
+    cont = (fun () -> Coro.Exit);
+    segment_end = 0;
+    last_core = -1;
+    run_start = 0;
+    wake_time = None;
+    pending_wake = false;
+    resuming = false;
+    track_wakeup = true;
+    enqueue_time = 0;
+    policy_f1 = 0.0;
+    policy_f2 = 0.0;
+    policy_i = 0;
+    arrival;
+    service;
+    on_exit;
+  }
+
+let is_runnable t = match t.state with Runnable | Running -> true | Blocked | Exited -> false
+
+let state_name = function
+  | Runnable -> "runnable"
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Exited -> "exited"
+
+let pp ppf t = Format.fprintf ppf "%s#%d(app=%d,%s)" t.name t.id t.app (state_name t.state)

@@ -1,0 +1,53 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+
+(** User-level threads — the [task_t] of the paper (§3.3, Table 2).
+
+    A task's shared fields (state, owning application, the policy-defined
+    data words) live conceptually in Skyloft's cross-application shared
+    memory so any application's copy of the scheduler sees them; the
+    context/stack (here: the {!Coro} body and continuation) are private.
+
+    Policy-defined data: the paper reserves one extra field per task for
+    the policy.  We provide two floats and one int ([policy_f1],
+    [policy_f2], [policy_i]) so CFS (vruntime), EEVDF (deadline + lag) and
+    quantum-based policies all fit without per-policy allocation. *)
+
+type state =
+  | Runnable  (** in some runqueue *)
+  | Running  (** on a CPU *)
+  | Blocked  (** waiting for [task_wakeup] *)
+  | Exited
+
+type t = {
+  id : int;
+  app : int;  (** owning application id *)
+  name : string;
+  mutable state : state;
+  mutable body : Coro.t;
+  mutable cont : unit -> Coro.t;  (** continuation of the in-flight compute *)
+  mutable segment_end : Time.t;
+  mutable last_core : int;
+  mutable run_start : Time.t;  (** when the task last started running *)
+  mutable wake_time : Time.t option;
+  mutable pending_wake : bool;
+  mutable resuming : bool;  (** woken from a block: next dispatch resumes the
+                                block continuation instead of re-blocking *)
+  mutable track_wakeup : bool;  (** record this task's wakeup latencies in
+                                    the runtime histogram (default true) *)
+  mutable enqueue_time : Time.t;  (** when it last entered a runqueue *)
+  mutable policy_f1 : float;
+  mutable policy_f2 : float;
+  mutable policy_i : int;
+  mutable arrival : Time.t;  (** request arrival (workload metadata) *)
+  mutable service : Time.t;  (** total service demand (workload metadata) *)
+  mutable on_exit : (t -> unit) option;  (** completion callback *)
+}
+
+val create :
+  app:int -> name:string -> ?arrival:Time.t -> ?service:Time.t ->
+  ?on_exit:(t -> unit) -> Coro.t -> t
+(** Fresh runnable task with a process-wide unique id. *)
+
+val is_runnable : t -> bool
+val pp : Format.formatter -> t -> unit

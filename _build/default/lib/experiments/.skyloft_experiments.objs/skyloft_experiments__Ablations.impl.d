@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Config Fun List Printf Report Skyloft Skyloft_apps Skyloft_hw Skyloft_kernel Skyloft_net Skyloft_policies Skyloft_sim Skyloft_stats

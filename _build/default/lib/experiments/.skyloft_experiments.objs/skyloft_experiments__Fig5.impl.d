@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Config Fun List Report Skyloft Skyloft_apps Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_stats

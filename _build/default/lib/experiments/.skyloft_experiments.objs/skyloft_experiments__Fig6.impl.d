@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Config Format Fun List Printf Report Skyloft Skyloft_apps Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Config Fun List Printf Report Skyloft Skyloft_apps Skyloft_baselines Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Config Fun List Printf Report Skyloft Skyloft_apps Skyloft_baselines Skyloft_hw Skyloft_kernel Skyloft_net Skyloft_policies Skyloft_sim Skyloft_stats

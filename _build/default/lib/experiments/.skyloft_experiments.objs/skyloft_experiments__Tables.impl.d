@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: List Report Skyloft_hw Skyloft_kernel Skyloft_sim String Sys

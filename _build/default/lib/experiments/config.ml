@@ -1,0 +1,13 @@
+module Time = Skyloft_sim.Time
+
+(** Shared experiment configuration.
+
+    [duration] is virtual seconds simulated per data point; the default
+    trades a little percentile resolution for bench wall-clock time.
+    Everything is deterministic given [seed]. *)
+
+type t = { duration : Time.t; seed : int }
+
+let default = { duration = Time.ms 300; seed = 42 }
+let quick = { duration = Time.ms 80; seed = 42 }
+let full = { duration = Time.s 1; seed = 42 }

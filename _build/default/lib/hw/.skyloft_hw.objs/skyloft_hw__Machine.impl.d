@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Costs Int64 List Skyloft_sim Topology Vectors

@@ -1,0 +1,1 @@
+lib/hw/mpk.ml: Array Fun Printf

@@ -1,0 +1,1 @@
+lib/hw/uitt.ml: Array Machine

@@ -1,0 +1,172 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+
+type vector = int
+
+type uintr_ctx = {
+  mutable pir : int64;
+  mutable sn : bool;
+  mutable uinv : vector;
+  mutable uirr : int64;
+  mutable handler : (uvec:int -> unit) option;
+  mutable installed_on : int option;
+}
+
+type core = {
+  id : int;
+  socket_id : int;
+  mutable uintr : uintr_ctx option;
+  mutable kernel_handler : (vector -> unit) option;
+  mutable masked : bool;
+  mutable pending : vector list;  (* reversed arrival order *)
+  mutable timer_gen : int;  (* invalidates stale periodic arms *)
+  mutable hz : int;
+  mutable interrupts_received : int;
+  mutable user_interrupts : int;
+  mutable dropped : int;
+}
+
+type t = { engine : Engine.t; topo : Topology.t; cores : core array }
+
+let create engine topo =
+  let make_core id =
+    {
+      id;
+      socket_id = Topology.socket_of_core topo id;
+      uintr = None;
+      kernel_handler = None;
+      masked = false;
+      pending = [];
+      timer_gen = 0;
+      hz = 0;
+      interrupts_received = 0;
+      user_interrupts = 0;
+      dropped = 0;
+    }
+  in
+  { engine; topo; cores = Array.init (Topology.total_cores topo) make_core }
+
+let engine t = t.engine
+let topology t = t.topo
+let n_cores t = Array.length t.cores
+
+let core t i =
+  if i < 0 || i >= Array.length t.cores then invalid_arg "Machine.core: bad core id";
+  t.cores.(i)
+
+let core_id c = c.id
+let socket c = c.socket_id
+let set_kernel_handler c f = c.kernel_handler <- Some f
+let interrupts_masked c = c.masked
+
+(* Recognition: move posted PIR bits into the UIRR and run the handler once
+   per set bit, highest vector first (x86 priority order). *)
+let recognize c ctx =
+  if ctx.pir = 0L then c.dropped <- c.dropped + 1
+  else begin
+    ctx.uirr <- Int64.logor ctx.uirr ctx.pir;
+    ctx.pir <- 0L;
+    match ctx.handler with
+    | None -> ()
+    | Some handler ->
+        for uvec = 63 downto 0 do
+          let bit = Int64.shift_left 1L uvec in
+          if Int64.logand ctx.uirr bit <> 0L then begin
+            ctx.uirr <- Int64.logand ctx.uirr (Int64.lognot bit);
+            c.user_interrupts <- c.user_interrupts + 1;
+            handler ~uvec
+          end
+        done
+  end
+
+let dispatch c v =
+  c.interrupts_received <- c.interrupts_received + 1;
+  match c.uintr with
+  | Some ctx when v = ctx.uinv -> recognize c ctx
+  | Some _ | None -> ( match c.kernel_handler with Some f -> f v | None -> ())
+
+let raise_vector c v = if c.masked then c.pending <- v :: c.pending else dispatch c v
+
+let mask_interrupts c = c.masked <- true
+
+let unmask_interrupts c =
+  c.masked <- false;
+  let queued = List.rev c.pending in
+  c.pending <- [];
+  List.iter (fun v -> if not c.masked then dispatch c v else c.pending <- v :: c.pending)
+    queued
+
+let send_ipi t ~src ~dst v =
+  let cross = Topology.cross_numa t.topo src dst in
+  let latency =
+    if v = Vectors.uintr_notification then Costs.uipi_delivery_ns ~cross_numa:cross
+    else Costs.kipi_delivery_ns
+  in
+  let target = core t dst in
+  ignore (Engine.after t.engine latency (fun () -> raise_vector target v))
+
+let timer_stop t ~core:i =
+  let c = core t i in
+  c.timer_gen <- c.timer_gen + 1;
+  c.hz <- 0
+
+let timer_set_periodic t ~core:i ~hz =
+  if hz <= 0 then invalid_arg "Machine.timer_set_periodic: hz must be positive";
+  let c = core t i in
+  c.timer_gen <- c.timer_gen + 1;
+  c.hz <- hz;
+  let gen = c.timer_gen in
+  let period = max 1 (1_000_000_000 / hz) in
+  Engine.every t.engine ~period (fun () ->
+      if c.timer_gen = gen then begin
+        raise_vector c Vectors.timer;
+        true
+      end
+      else false)
+
+let timer_one_shot t ~core:i ~after =
+  let c = core t i in
+  ignore (Engine.after t.engine after (fun () -> raise_vector c Vectors.timer))
+
+let timer_hz c = c.hz
+
+let uintr_create_ctx () =
+  { pir = 0L; sn = false; uinv = Vectors.uintr_notification; uirr = 0L; handler = None;
+    installed_on = None }
+
+let uintr_register_handler ctx ~uinv handler =
+  ctx.uinv <- uinv;
+  ctx.handler <- Some handler
+
+let uintr_set_uinv ctx v = ctx.uinv <- v
+let uintr_set_sn ctx sn = ctx.sn <- sn
+let uintr_sn ctx = ctx.sn
+let uintr_pir_pending ctx = ctx.pir <> 0L
+
+let uintr_install t ~core:i ctx =
+  let c = core t i in
+  (match c.uintr with Some old -> old.installed_on <- None | None -> ());
+  c.uintr <- Some ctx;
+  ctx.installed_on <- Some i;
+  (* Hardware recognises already-posted interrupts when the thread resumes
+     user mode. *)
+  if ctx.pir <> 0L && not c.masked then recognize c ctx
+
+let uintr_uninstall t ~core:i =
+  let c = core t i in
+  (match c.uintr with Some ctx -> ctx.installed_on <- None | None -> ());
+  c.uintr <- None
+
+let uintr_installed t ~core:i = (core t i).uintr
+
+let senduipi t ~src_core ctx ~uvec =
+  if uvec < 0 || uvec > 63 then invalid_arg "Machine.senduipi: uvec out of range";
+  ctx.pir <- Int64.logor ctx.pir (Int64.shift_left 1L uvec);
+  if not ctx.sn then
+    match ctx.installed_on with
+    | Some dst -> send_ipi t ~src:src_core ~dst ctx.uinv
+    | None -> ()
+
+let interrupts_received c = c.interrupts_received
+let user_interrupts_delivered c = c.user_interrupts
+let dropped_notifications c = c.dropped

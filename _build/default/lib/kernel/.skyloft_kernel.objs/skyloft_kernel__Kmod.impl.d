@@ -1,0 +1,1 @@
+lib/kernel/kmod.ml: Format Kthread List Skyloft_hw Skyloft_sim

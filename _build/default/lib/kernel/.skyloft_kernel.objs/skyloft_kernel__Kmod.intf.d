@@ -1,0 +1,1 @@
+lib/kernel/kmod.mli: Skyloft_hw Skyloft_sim

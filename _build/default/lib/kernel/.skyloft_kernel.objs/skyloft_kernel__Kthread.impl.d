@@ -1,0 +1,1 @@
+lib/kernel/kthread.ml: Format Skyloft_sim

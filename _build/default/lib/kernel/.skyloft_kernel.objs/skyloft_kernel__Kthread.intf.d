@@ -1,0 +1,1 @@
+lib/kernel/kthread.mli: Format Skyloft_sim

@@ -1,0 +1,1 @@
+lib/kernel/linux.ml: Array Float Hashtbl Kthread List Skyloft_hw Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+lib/kernel/linux.mli: Kthread Skyloft_hw Skyloft_sim Skyloft_stats

@@ -1,0 +1,94 @@
+module Time = Skyloft_sim.Time
+module Machine = Skyloft_hw.Machine
+module Costs = Skyloft_hw.Costs
+module Vectors = Skyloft_hw.Vectors
+
+exception Binding_rule_violation of string
+
+type state = Parked | Active | Exited
+
+type kthread = {
+  tid : int;
+  app : int;
+  core : int;
+  ctx : Machine.uintr_ctx;
+  mutable state : state;
+}
+
+type t = { machine : Machine.t; mutable threads : kthread list }
+
+let create machine = { machine; threads = [] }
+
+let violation fmt = Format.kasprintf (fun s -> raise (Binding_rule_violation s)) fmt
+
+let kthreads_on t ~core =
+  List.filter (fun kt -> kt.core = core && kt.state <> Exited) t.threads
+
+let active_on t ~core =
+  List.find_opt (fun kt -> kt.core = core && kt.state = Active) t.threads
+
+let park_on_cpu t ~app ~core =
+  if core < 0 || core >= Machine.n_cores t.machine then
+    invalid_arg "Kmod.park_on_cpu: bad core";
+  let kt =
+    { tid = Kthread.fresh_tid (); app; core; ctx = Machine.uintr_create_ctx ();
+      state = Parked }
+  in
+  t.threads <- kt :: t.threads;
+  kt
+
+let activate t kt =
+  (match kt.state with
+  | Exited -> violation "activate: kthread %d already exited" kt.tid
+  | Active -> violation "activate: kthread %d already active" kt.tid
+  | Parked -> ());
+  (match active_on t ~core:kt.core with
+  | Some other ->
+      violation "activate: core %d already has active kthread %d (app %d)" kt.core
+        other.tid other.app
+  | None -> ());
+  kt.state <- Active;
+  Machine.uintr_install t.machine ~core:kt.core kt.ctx;
+  Costs.linux_wakeup_switch_ns
+
+let switch_to t ~from ~target =
+  if from == target then violation "switch_to: from and target are the same kthread";
+  if from.state <> Active then violation "switch_to: kthread %d is not active" from.tid;
+  if target.state = Exited then violation "switch_to: target %d exited" target.tid;
+  if from.core <> target.core then
+    violation "switch_to: cross-core switch (%d -> %d)" from.core target.core;
+  (* Both transitions happen atomically in the kernel, upholding the
+     binding rule throughout (§3.3). *)
+  from.state <- Parked;
+  target.state <- Active;
+  Machine.uintr_install t.machine ~core:target.core target.ctx;
+  Costs.app_switch_ns
+
+let terminate t kt =
+  (match kt.state with
+  | Exited -> ()
+  | Active ->
+      let others =
+        List.filter (fun o -> o != kt) (kthreads_on t ~core:kt.core)
+      in
+      if others <> [] then
+        violation
+          "terminate: active kthread %d exits while %d parked kthread(s) remain on core \
+           %d — wake one first"
+          kt.tid (List.length others) kt.core;
+      Machine.uintr_uninstall t.machine ~core:kt.core
+  | Parked -> ());
+  kt.state <- Exited
+
+let app_of kt = kt.app
+let core_of kt = kt.core
+let is_active kt = kt.state = Active
+let uintr_ctx kt = kt.ctx
+
+let timer_enable _t kt =
+  Machine.uintr_set_uinv kt.ctx Vectors.timer;
+  Machine.uintr_set_sn kt.ctx true
+
+let timer_set_hz t ~core ~hz =
+  Machine.timer_set_periodic t.machine ~core ~hz;
+  Time.of_cycles Costs.lapic_timer_program

@@ -1,0 +1,64 @@
+module Time = Skyloft_sim.Time
+module Coro = Skyloft_sim.Coro
+
+type state = Ready | Running | Blocked | Suspended | Exited
+
+type t = {
+  tid : int;
+  name : string;
+  mutable state : state;
+  mutable affinity : int option;
+  mutable last_core : int;
+  mutable body : Coro.t;
+  mutable cont : unit -> Coro.t;
+  mutable segment_end : Time.t;
+  mutable wake_time : Time.t option;
+  mutable pending_wake : bool;
+  mutable resuming : bool;
+  mutable track_wakeup : bool;
+  mutable vruntime : float;
+  mutable deadline : float;
+  mutable lag : float;
+  mutable slice_left : Time.t;
+  mutable slice_start : Time.t;
+  weight : int;
+}
+
+let create ~tid ~name ?affinity ?(weight = 1024) body =
+  {
+    tid;
+    name;
+    state = Ready;
+    affinity;
+    last_core = (match affinity with Some c -> c | None -> 0);
+    body;
+    cont = (fun () -> Coro.Exit);
+    segment_end = 0;
+    wake_time = None;
+    pending_wake = false;
+    resuming = false;
+    track_wakeup = true;
+    vruntime = 0.0;
+    deadline = 0.0;
+    lag = 0.0;
+    slice_left = 0;
+    slice_start = 0;
+    weight;
+  }
+
+let is_runnable t = match t.state with Ready | Running -> true | _ -> false
+
+let state_name = function
+  | Ready -> "ready"
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Suspended -> "suspended"
+  | Exited -> "exited"
+
+let pp ppf t = Format.fprintf ppf "%s[%d] %s" t.name t.tid (state_name t.state)
+
+let tid_counter = ref 0
+
+let fresh_tid () =
+  incr tid_counter;
+  !tid_counter

@@ -1,0 +1,1 @@
+lib/net/loadgen.ml: Packet Skyloft_sim

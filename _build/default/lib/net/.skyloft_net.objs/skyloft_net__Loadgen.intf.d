@@ -1,0 +1,1 @@
+lib/net/loadgen.mli: Packet Skyloft_sim

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Array Packet Ring Rss Skyloft_hw Skyloft_sim

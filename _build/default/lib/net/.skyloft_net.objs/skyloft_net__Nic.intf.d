@@ -1,0 +1,1 @@
+lib/net/nic.mli: Packet Skyloft_hw Skyloft_sim

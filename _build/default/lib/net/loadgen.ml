@@ -1,0 +1,35 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Rng = Skyloft_sim.Rng
+module Dist = Skyloft_sim.Dist
+
+let poisson engine ~rng ~rate_rps ~service ?start ~duration ?(kind = fun _ -> "req") sink =
+  if rate_rps <= 0.0 then invalid_arg "Loadgen.poisson: rate must be positive";
+  let start = match start with Some s -> s | None -> Engine.now engine in
+  let mean_gap_ns = 1e9 /. rate_rps in
+  let stop = start + duration in
+  let rec arrive at =
+    if at < stop then
+      ignore
+        (Engine.at engine at (fun () ->
+             let pkt =
+               Packet.create ~arrival:at
+                 ~service:(Dist.sample service rng)
+                 ~flow:(Rng.int rng 1_000_000) ~kind:(kind rng)
+             in
+             sink pkt;
+             let gap = max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)) in
+             arrive (at + gap)))
+  in
+  arrive (start + max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)))
+
+let uniform_closed engine ~rng ~interval ~count ~service sink =
+  if interval <= 0 then invalid_arg "Loadgen.uniform_closed: interval must be positive";
+  for i = 0 to count - 1 do
+    let at = Engine.now engine + (i * interval) in
+    ignore
+      (Engine.at engine at (fun () ->
+           sink
+             (Packet.create ~arrival:at ~service:(Dist.sample service rng)
+                ~flow:(Rng.int rng 1_000_000) ~kind:"req")))
+  done

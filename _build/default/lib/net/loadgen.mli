@@ -1,0 +1,34 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Rng = Skyloft_sim.Rng
+module Dist = Skyloft_sim.Dist
+
+(** Open-loop load generator: the separate client machine of §5.3, issuing
+    requests with Poisson arrivals regardless of server progress (the
+    arrival process that makes tail latency honest). *)
+
+val poisson :
+  Engine.t ->
+  rng:Rng.t ->
+  rate_rps:float ->
+  service:Dist.t ->
+  ?start:Time.t ->
+  duration:Time.t ->
+  ?kind:(Rng.t -> string) ->
+  (Packet.t -> unit) ->
+  unit
+(** Schedule Poisson arrivals at [rate_rps] for [duration] starting at
+    [start] (default now).  Each arrival gets a service demand drawn from
+    [service], a random flow id, and a kind from [kind] (default "req"),
+    then is passed to the sink at its arrival time. *)
+
+val uniform_closed :
+  Engine.t ->
+  rng:Rng.t ->
+  interval:Time.t ->
+  count:int ->
+  service:Dist.t ->
+  (Packet.t -> unit) ->
+  unit
+(** Fixed-interval generator: [count] packets spaced [interval] apart
+    (handy for deterministic tests and microbenchmarks). *)

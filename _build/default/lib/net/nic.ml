@@ -1,0 +1,90 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Machine = Skyloft_hw.Machine
+module Vectors = Skyloft_hw.Vectors
+
+type mode =
+  | Spin
+  | Periodic of Time.t
+  | Msi of { machine : Machine.t; cores : int array }
+
+type t = {
+  engine : Engine.t;
+  rings : Ring.t array;
+  consumers : (Packet.t -> unit) option array;
+  poll_cost : Time.t;
+  mode : mode;
+  mutable received : int;
+}
+
+let drain t ~queue f =
+  let ring = t.rings.(queue) in
+  let rec go n =
+    match Ring.pop ring with
+    | Some pkt ->
+        f pkt;
+        go (n + 1)
+    | None -> n
+  in
+  go 0
+
+let create engine ~queues ?(ring_capacity = 1024) ?(poll_cost = 120) ?(mode = Spin) () =
+  if queues <= 0 then invalid_arg "Nic.create: queues must be positive";
+  (match mode with
+  | Msi { cores; _ } when Array.length cores <> queues ->
+      invalid_arg "Nic.create: Msi cores must match queue count"
+  | _ -> ());
+  let t =
+    {
+      engine;
+      rings = Array.init queues (fun _ -> Ring.create ~capacity:ring_capacity);
+      consumers = Array.make queues None;
+      poll_cost;
+      mode;
+      received = 0;
+    }
+  in
+  (match mode with
+  | Periodic interval ->
+      for queue = 0 to queues - 1 do
+        Engine.every engine ~period:interval (fun () ->
+            (match t.consumers.(queue) with
+            | Some f -> ignore (drain t ~queue f)
+            | None -> ());
+            true)
+      done
+  | Spin | Msi _ -> ());
+  t
+
+let on_packet t ~queue f =
+  if queue < 0 || queue >= Array.length t.rings then invalid_arg "Nic.on_packet: bad queue";
+  t.consumers.(queue) <- Some f
+
+let rx t pkt =
+  t.received <- t.received + 1;
+  let queue = Rss.queue_of_flow ~queues:(Array.length t.rings) pkt.Packet.flow in
+  let ring = t.rings.(queue) in
+  let was_empty = Ring.is_empty ring in
+  if Ring.push ring pkt then
+    match t.mode with
+    | Spin ->
+        ignore
+          (Engine.after t.engine t.poll_cost (fun () ->
+               match Ring.pop ring with
+               | Some pkt -> (
+                   match t.consumers.(queue) with Some f -> f pkt | None -> ())
+               | None -> ()))
+    | Periodic _ -> ()
+    | Msi { machine; cores } ->
+        (* Interrupt coalescing: only an empty->nonempty transition posts an
+           interrupt; the driver drains the whole ring per interrupt. *)
+        if was_empty then begin
+          let core = cores.(queue) in
+          match Machine.uintr_installed machine ~core with
+          | Some ctx -> Machine.senduipi machine ~src_core:core ctx ~uvec:Vectors.uvec_nic
+          | None -> ()
+        end
+
+let queues t = Array.length t.rings
+let drops t = Array.fold_left (fun acc ring -> acc + Ring.dropped ring) 0 t.rings
+let received t = t.received

@@ -1,0 +1,14 @@
+(** Receive Side Scaling: a deterministic hash from flow id to receive
+    queue, as the NIC uses to spread flows over cores (§3.5).
+
+    A small multiplicative hash (Fibonacci hashing) stands in for Toeplitz:
+    what matters for the experiments is a deterministic, roughly uniform
+    flow-to-queue mapping. *)
+
+let hash flow =
+  let h = flow * 0x9E3779B1 in
+  (h lsr 8) land 0x7FFFFFFF
+
+let queue_of_flow ~queues flow =
+  if queues <= 0 then invalid_arg "Rss.queue_of_flow: queues must be positive";
+  hash flow mod queues

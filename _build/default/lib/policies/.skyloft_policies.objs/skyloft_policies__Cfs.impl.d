@@ -1,0 +1,1 @@
+lib/policies/cfs.ml: Array Float Hashtbl Skyloft Skyloft_sim

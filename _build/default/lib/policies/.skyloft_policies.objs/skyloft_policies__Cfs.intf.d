@@ -1,0 +1,1 @@
+lib/policies/cfs.mli: Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/eevdf.ml: Array Float Hashtbl Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/eevdf.mli: Skyloft Skyloft_sim

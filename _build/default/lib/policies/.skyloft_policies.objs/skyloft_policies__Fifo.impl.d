@@ -1,0 +1,1 @@
+lib/policies/fifo.ml: Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/fifo.mli: Skyloft

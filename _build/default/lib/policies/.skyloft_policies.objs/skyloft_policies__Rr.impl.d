@@ -1,0 +1,1 @@
+lib/policies/rr.ml: Array Hashtbl Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/rr.mli: Skyloft Skyloft_sim

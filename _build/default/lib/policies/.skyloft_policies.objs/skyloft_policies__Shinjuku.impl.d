@@ -1,0 +1,1 @@
+lib/policies/shinjuku.ml: Skyloft Skyloft_sim

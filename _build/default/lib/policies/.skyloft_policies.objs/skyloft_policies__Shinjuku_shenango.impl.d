@@ -1,0 +1,1 @@
+lib/policies/shinjuku_shenango.ml: Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/shinjuku_shenango.mli: Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/work_stealing.ml: Array Hashtbl Skyloft Skyloft_sim

@@ -1,0 +1,1 @@
+lib/policies/work_stealing.mli: Skyloft Skyloft_sim

@@ -1,0 +1,6 @@
+(** First-Come-First-Served over a single global runqueue, run to
+    completion: the classic dataplane policy (IX/ZygOS-style, §2.1).
+    Never requests preemption: ideal for light-tailed workloads,
+    head-of-line blocked on heavy tails. *)
+
+val create : unit -> Skyloft.Sched_ops.ctor

@@ -1,0 +1,11 @@
+module Time = Skyloft_sim.Time
+
+(** Per-CPU Round-Robin with time slicing — the Skyloft counterpart of
+    SCHED_RR (§5.1, Table 5: 50 µs slices at a 100 kHz tick).
+
+    Each core owns a FIFO runqueue; the timer tick preempts the running
+    task once its slice is used, sending it to the tail of its local
+    queue.  [slice = None] is Skyloft-FIFO from Figure 6: an infinite
+    slice, so the tick never preempts. *)
+
+val create : ?slice:Time.t -> unit -> Skyloft.Sched_ops.ctor

@@ -1,0 +1,13 @@
+module Time = Skyloft_sim.Time
+
+(** Work stealing, Shenango-style (§5.3), cooperative or preemptive.
+
+    Each core owns a deque: the owner uses the head, thieves scan victims
+    round-robin and steal from the tail; woken tasks land on the waking
+    core's queue.  The preemptive variant is the paper's RocksDB
+    punchline: without changing the policy, the user-space timer tick
+    preempts any request over the quantum, breaking head-of-line blocking
+    (Figure 8b).  [quantum = None] is plain cooperative work stealing
+    (Memcached, Figure 8a). *)
+
+val create : ?quantum:Time.t -> unit -> Skyloft.Sched_ops.ctor

@@ -1,0 +1,33 @@
+(** Simulated thread bodies.
+
+    A [t] describes what a simulated thread does next, in
+    continuation-passing style.  Runtimes (the Linux scheduler model, the
+    Skyloft LibOS) interpret these descriptions: [Compute] consumes virtual
+    CPU time and can be sliced by preemption at any instant; [Block]
+    suspends until an external [wakeup]; [Yield] voluntarily releases the
+    CPU.  Because the continuation is only invoked when the previous step
+    finishes, bodies can carry arbitrary state in their closures. *)
+
+type t =
+  | Compute of Time.t * (unit -> t)
+      (** run for the given virtual duration, then continue *)
+  | Block of (unit -> t)
+      (** block; the continuation runs after an external wakeup *)
+  | Yield of (unit -> t)  (** release the CPU voluntarily, stay runnable *)
+  | Exit  (** terminate the thread *)
+
+val compute : Time.t -> (unit -> t) -> t
+val block : (unit -> t) -> t
+val yield : (unit -> t) -> t
+val exit' : t
+
+val compute_then_exit : Time.t -> t
+(** One burst of work, then exit. *)
+
+val forever_compute_block : Time.t -> t
+(** The schbench worker shape: compute for the duration, block, repeat when
+    woken.  The duration is re-used for every round. *)
+
+val repeat : int -> (int -> t -> t) -> t -> t
+(** [repeat n f tail] composes [f] [n] times around [tail]:
+    [f 0 (f 1 (... (f (n-1) tail)))].  Handy for bounded loops. *)

@@ -1,0 +1,45 @@
+type t =
+  | Constant of Time.t
+  | Exponential of { mean : Time.t }
+  | Uniform of { lo : Time.t; hi : Time.t }
+  | Bimodal of { p_short : float; short : Time.t; long : Time.t }
+  | Lognormal of { mu : float; sigma : float }
+
+let clamp x = if x < 1 then 1 else x
+
+(* Box-Muller; one draw per call is fine at simulation scale. *)
+let normal rng =
+  let u1 = 1.0 -. Rng.uniform rng and u2 = Rng.uniform rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let sample t rng =
+  match t with
+  | Constant d -> clamp d
+  | Exponential { mean } ->
+      clamp (int_of_float (Rng.exponential rng ~mean:(float_of_int mean)))
+  | Uniform { lo; hi } ->
+      if hi <= lo then clamp lo else clamp (lo + Rng.int rng (hi - lo))
+  | Bimodal { p_short; short; long } ->
+      if Rng.uniform rng < p_short then clamp short else clamp long
+  | Lognormal { mu; sigma } ->
+      clamp (int_of_float (exp (mu +. (sigma *. normal rng))))
+
+let mean = function
+  | Constant d -> float_of_int d
+  | Exponential { mean } -> float_of_int mean
+  | Uniform { lo; hi } -> float_of_int (lo + hi) /. 2.0
+  | Bimodal { p_short; short; long } ->
+      (p_short *. float_of_int short) +. ((1.0 -. p_short) *. float_of_int long)
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "const(%a)" Time.pp d
+  | Exponential { mean } -> Format.fprintf ppf "exp(mean=%a)" Time.pp mean
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%a,%a)" Time.pp lo Time.pp hi
+  | Bimodal { p_short; short; long } ->
+      Format.fprintf ppf "bimodal(%.1f%% %a / %a)" (p_short *. 100.) Time.pp short Time.pp long
+  | Lognormal { mu; sigma } -> Format.fprintf ppf "lognormal(mu=%.2f,sigma=%.2f)" mu sigma
+
+let dispersive = Bimodal { p_short = 0.995; short = Time.us 4; long = Time.ms 10 }
+let rocksdb_bimodal = Bimodal { p_short = 0.5; short = Time.ns 950; long = Time.us 591 }
+let memcached_usr = Exponential { mean = Time.us 2 }

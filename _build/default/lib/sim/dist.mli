@@ -1,0 +1,38 @@
+(** Service-time and inter-arrival distributions used by the workloads.
+
+    Distributions are immutable descriptions; [sample] draws from a supplied
+    generator so the same description can feed several independent streams.
+    All samples are virtual-time durations in nanoseconds. *)
+
+type t =
+  | Constant of Time.t  (** always the same duration *)
+  | Exponential of { mean : Time.t }  (** light-tailed, memoryless *)
+  | Uniform of { lo : Time.t; hi : Time.t }
+  | Bimodal of { p_short : float; short : Time.t; long : Time.t }
+      (** with probability [p_short] the short mode, otherwise the long one;
+          the paper's dispersive (99.5% 4 µs / 0.5% 10 ms) and RocksDB
+          (50% 0.95 µs / 50% 591 µs) workloads are both of this form *)
+  | Lognormal of { mu : float; sigma : float }
+      (** parameters of the underlying normal; samples in ns *)
+
+val sample : t -> Rng.t -> Time.t
+(** Draw one duration.  Samples are clamped to be at least 1 ns. *)
+
+val mean : t -> float
+(** Expected value in nanoseconds (exact, not estimated). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Common workloads from the paper} *)
+
+val dispersive : t
+(** §5.2 synthetic workload: 99.5% short requests of 4 µs, 0.5% long
+    requests of 10 ms. *)
+
+val rocksdb_bimodal : t
+(** §5.3 RocksDB server workload: 50% GET at 0.95 µs, 50% SCAN at 591 µs. *)
+
+val memcached_usr : t
+(** §5.3 Memcached USR workload service time: GET-dominated and
+    light-tailed.  Modelled as exponential with a 2 µs mean around the
+    measured per-request cost. *)

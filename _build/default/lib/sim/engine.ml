@@ -1,0 +1,62 @@
+type t = {
+  mutable clock : Time.t;
+  queue : (unit -> unit) Eventq.t;
+  root_rng : Rng.t;
+  mutable fired : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero; queue = Eventq.create (); root_rng = Rng.create ~seed; fired = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+let split_rng t = Rng.split t.root_rng
+
+let at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.at: time %a is before now %a" Time.pp time Time.pp t.clock);
+  Eventq.schedule t.queue ~at:time f
+
+let after t delay f =
+  if delay < 0 then invalid_arg "Engine.after: negative delay";
+  at t (t.clock + delay) f
+
+let cancel = Eventq.cancel
+
+let every t ~period ?start f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock + period in
+  let rec tick () = if f () then ignore (after t period tick) in
+  ignore (at t first tick)
+
+let step t =
+  match Eventq.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.fired <- t.fired + 1;
+      f ();
+      true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Eventq.peek_time t.queue with
+    | None -> continue := false
+    | Some next -> (
+        match until with
+        | Some limit when next > limit ->
+            t.clock <- max t.clock limit;
+            continue := false
+        | _ ->
+            ignore (step t);
+            decr budget)
+  done;
+  match until with
+  | Some limit when t.clock < limit && Eventq.is_empty t.queue -> t.clock <- limit
+  | _ -> ()
+
+let pending t = Eventq.size t.queue
+let events_fired t = t.fired

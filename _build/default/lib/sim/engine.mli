@@ -1,0 +1,52 @@
+(** Discrete-event simulation driver.
+
+    The engine owns the virtual clock and the event queue.  Components
+    schedule thunks at absolute or relative virtual times; [run] fires them
+    in time order, advancing the clock discontinuously.  Within one instant,
+    events fire in scheduling order.
+
+    The engine deliberately knows nothing about cores, interrupts, or
+    schedulers — those live in the hardware and kernel layers and express
+    themselves as scheduled thunks. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with clock at 0.  [seed] (default 42) seeds the root PRNG
+    from which component streams are split. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root PRNG.  Prefer [split_rng] for components. *)
+
+val split_rng : t -> Rng.t
+(** A fresh independent stream for one simulation component. *)
+
+val at : t -> Time.t -> (unit -> unit) -> Eventq.handle
+(** [at t time f] schedules [f] to run at absolute virtual [time], which must
+    not be in the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> Eventq.handle
+(** [after t delay f] schedules [f] to run [delay] ns from now. *)
+
+val cancel : Eventq.handle -> unit
+
+val every : t -> period:Time.t -> ?start:Time.t -> (unit -> bool) -> unit
+(** [every t ~period f] runs [f] each [period] ns (first at [start], default
+    [now + period]) until [f] returns [false]. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the event queue.  Stops when the queue is empty, when the next
+    event would fire after [until], or after [max_events] events.  The clock
+    is left at the last fired event (or at [until] if given and reached). *)
+
+val step : t -> bool
+(** Fire exactly the next event.  [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)
+
+val events_fired : t -> int
+(** Total events fired since creation (useful to bound runaway models). *)

@@ -1,0 +1,96 @@
+type handle = { mutable cancelled : bool }
+
+type 'a entry = { time : Time.t; seq : int; payload : 'a; handle : handle }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* Safe placeholder: duplicate slot 0; len guards all reads. *)
+  let fresh = Array.make new_cap t.heap.(0) in
+  Array.blit t.heap 0 fresh 0 t.len;
+  t.heap <- fresh
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && entry_lt t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.len && entry_lt t.heap.(right) t.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let schedule t ~at payload =
+  if at < 0 then invalid_arg "Eventq.schedule: negative time";
+  let handle = { cancelled = false } in
+  let entry = { time = at; seq = t.next_seq; payload; handle } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  if t.len = Array.length t.heap then grow t;
+  t.heap.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1);
+  handle
+
+let cancel handle = handle.cancelled <- true
+let is_cancelled handle = handle.cancelled
+
+let pop_raw t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_raw t with
+  | None -> None
+  | Some e ->
+      if e.handle.cancelled then pop t
+      else Some (e.time, e.payload)
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else if t.heap.(0).handle.cancelled then begin
+    ignore (pop_raw t);
+    peek_time t
+  end
+  else Some t.heap.(0).time
+
+(* Lazy cancellation: count only non-cancelled entries. *)
+let size t =
+  let cancelled_in_heap = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.heap.(i).handle.cancelled then incr cancelled_in_heap
+  done;
+  t.len - !cancelled_in_heap
+
+let is_empty t = size t = 0

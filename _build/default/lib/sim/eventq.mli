@@ -1,0 +1,34 @@
+(** Timestamped event queue: the heart of the discrete-event engine.
+
+    A binary min-heap keyed by (time, sequence number).  The sequence number
+    guarantees that events scheduled for the same instant fire in insertion
+    order, which keeps simulations deterministic.  Events can be cancelled in
+    O(1) through the handle returned at insertion (lazy deletion). *)
+
+type 'a t
+
+type handle
+(** Token for a scheduled event; allows cancellation. *)
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> at:Time.t -> 'a -> handle
+(** Insert an event to fire at absolute time [at]. *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event.  Cancelling twice, or cancelling an event that
+    already fired, is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event, skipping cancelled ones.
+    [None] when the queue holds no live events. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest live event without removing it. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled, not yet fired) events. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,1 @@
+lib/stats/trace.ml: Array Buffer Char Fun Printf Skyloft_sim String

@@ -1,0 +1,43 @@
+(** Log-linear latency histogram (HdrHistogram-style).
+
+    Values are non-negative integers (nanoseconds in this repository).
+    Buckets are arranged as 64 power-of-two ranges split into
+    [sub_buckets] linear sub-buckets each, giving a worst-case relative
+    error of [1/sub_buckets] — ~1.6% at the default 64, far below the
+    run-to-run noise of any scheduling experiment.  Recording is O(1) and
+    allocation-free after creation. *)
+
+type t
+
+val create : ?sub_buckets:int -> unit -> t
+(** [sub_buckets] must be a power of two (default 64). *)
+
+val record : t -> int -> unit
+(** Record one value.  Negative values raise [Invalid_argument]. *)
+
+val record_n : t -> int -> n:int -> unit
+(** Record the same value [n] times. *)
+
+val count : t -> int
+val is_empty : t -> bool
+val min_value : t -> int
+(** Smallest recorded value (exact).  0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value (exact).  0 when empty. *)
+
+val mean : t -> float
+(** Approximate mean from bucket midpoints.  0 when empty. *)
+
+val total : t -> float
+(** Sum of recorded values (bucket-midpoint approximation). *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [\[0, 100\]]: smallest bucket upper bound
+    such that at least [p]% of recorded values are at or below it.
+    0 when empty. *)
+
+val merge_into : src:t -> dst:t -> unit
+val reset : t -> unit
+val pp_summary : Format.formatter -> t -> unit
+(** One-line p50/p90/p99/p99.9/max rendering in human units. *)

@@ -1,0 +1,44 @@
+module Time = Skyloft_sim.Time
+
+type t = {
+  latency : Histogram.t;
+  slowdown : Histogram.t;
+  wakeup : Histogram.t;
+  mutable requests : int;
+}
+
+let create () =
+  {
+    latency = Histogram.create ();
+    slowdown = Histogram.create ();
+    wakeup = Histogram.create ();
+    requests = 0;
+  }
+
+let record_request t ~arrival ~completion ~service =
+  if completion < arrival then invalid_arg "Summary.record_request: completion < arrival";
+  if service <= 0 then invalid_arg "Summary.record_request: service must be positive";
+  let response = completion - arrival in
+  t.requests <- t.requests + 1;
+  Histogram.record t.latency response;
+  let slowdown_x1000 = response * 1000 / service in
+  Histogram.record t.slowdown (max 1000 slowdown_x1000)
+
+let record_wakeup t v = Histogram.record t.wakeup v
+let requests t = t.requests
+let latency t = t.latency
+let slowdown t = t.slowdown
+let wakeup t = t.wakeup
+let latency_p t p = Histogram.percentile t.latency p
+let slowdown_p t p = float_of_int (Histogram.percentile t.slowdown p) /. 1000.0
+let wakeup_p t p = Histogram.percentile t.wakeup p
+
+let throughput_rps t ~duration =
+  if duration <= 0 then 0.0
+  else float_of_int t.requests /. Time.to_s_float duration
+
+let merge_into ~src ~dst =
+  Histogram.merge_into ~src:src.latency ~dst:dst.latency;
+  Histogram.merge_into ~src:src.slowdown ~dst:dst.slowdown;
+  Histogram.merge_into ~src:src.wakeup ~dst:dst.wakeup;
+  dst.requests <- dst.requests + src.requests

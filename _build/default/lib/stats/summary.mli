@@ -1,0 +1,39 @@
+module Time = Skyloft_sim.Time
+
+(** Per-run result accounting: request latencies, slowdowns, throughput.
+
+    One [t] accumulates the outcome of one experiment run.  Latency is
+    response time (completion - arrival); slowdown is response time divided
+    by pure service time, the SLO metric used for the RocksDB experiment
+    (§5.3).  Slowdowns are recorded scaled by 1000 (a slowdown of 1.0 is
+    stored as 1000) to fit the integer histogram. *)
+
+type t
+
+val create : unit -> t
+
+val record_request :
+  t -> arrival:Time.t -> completion:Time.t -> service:Time.t -> unit
+(** Record one finished request.  [completion >= arrival] and [service > 0]
+    are required. *)
+
+val record_wakeup : t -> Time.t -> unit
+(** Record a wakeup-latency sample (schbench-style). *)
+
+val requests : t -> int
+val latency : t -> Histogram.t
+val slowdown : t -> Histogram.t
+val wakeup : t -> Histogram.t
+
+val latency_p : t -> float -> Time.t
+(** Latency percentile in ns. *)
+
+val slowdown_p : t -> float -> float
+(** Slowdown percentile as a ratio (descaled). *)
+
+val wakeup_p : t -> float -> Time.t
+
+val throughput_rps : t -> duration:Time.t -> float
+(** Completed requests per second of virtual time. *)
+
+val merge_into : src:t -> dst:t -> unit

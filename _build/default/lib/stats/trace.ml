@@ -1,0 +1,90 @@
+module Time = Skyloft_sim.Time
+
+type instant_kind = Preempt | Wakeup | App_switch | Timer_tick | Fault
+
+type event =
+  | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }
+  | Instant of { core : int; at : Time.t; kind : instant_kind; name : string }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable head : int;  (* next write position *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; head = 0; count = 0; dropped = 0 }
+
+let push t ev =
+  if t.count = t.capacity then t.dropped <- t.dropped + 1 else t.count <- t.count + 1;
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod t.capacity
+
+let span t ~core ~app ~name ~start ~stop =
+  if stop < start then invalid_arg "Trace.span: stop before start";
+  push t (Span { core; app; name; start; stop })
+
+let instant t ~core ~at kind ~name = push t (Instant { core; at; kind; name })
+let events t = t.count
+let dropped t = t.dropped
+
+let kind_name = function
+  | Preempt -> "preempt"
+  | Wakeup -> "wakeup"
+  | App_switch -> "app-switch"
+  | Timer_tick -> "tick"
+  | Fault -> "fault"
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us t = float_of_int t /. 1_000.0
+
+(* Oldest-first iteration over the ring. *)
+let iter_events t f =
+  let start = if t.count = t.capacity then t.head else 0 in
+  for i = 0 to t.count - 1 do
+    match t.ring.((start + i) mod t.capacity) with Some ev -> f ev | None -> ()
+  done
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  iter_events t (fun ev ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      match ev with
+      | Span { core; app; name; start; stop } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}|}
+               (escape name) (us start)
+               (us (stop - start))
+               app core)
+      | Instant { core; at; kind; name } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               {|{"name":"%s:%s","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
+               (kind_name kind) (escape name) (us at) core));
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let write_chrome_json t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json t))

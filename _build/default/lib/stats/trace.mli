@@ -1,0 +1,39 @@
+module Time = Skyloft_sim.Time
+
+(** Scheduling trace: a bounded ring of runtime events, exportable as
+    Chrome trace-event JSON (load in [chrome://tracing] or Perfetto).
+
+    The runtimes emit a {e span} for every interval a task spends on a
+    core and {e instants} for scheduling events (preemptions, wakeups,
+    application switches).  Tracing is opt-in per runtime and cheap
+    enough to leave on in tests. *)
+
+type t
+
+type instant_kind =
+  | Preempt  (** the running task was preempted *)
+  | Wakeup  (** a blocked task was made runnable *)
+  | App_switch  (** cross-application kthread switch *)
+  | Timer_tick  (** user timer interrupt handled *)
+  | Fault  (** blocking event (page fault) *)
+
+val create : ?capacity:int -> unit -> t
+(** Keep at most [capacity] (default 100,000) most recent events. *)
+
+val span : t -> core:int -> app:int -> name:string -> start:Time.t -> stop:Time.t -> unit
+(** A task ran on [core] from [start] to [stop]. *)
+
+val instant : t -> core:int -> at:Time.t -> instant_kind -> name:string -> unit
+
+val events : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)
+
+val to_chrome_json : t -> string
+(** The retained events in Chrome trace-event array format: spans as
+    ["X"] complete events (ts/dur in µs), instants as ["i"]; [pid] is the
+    application id and [tid] the core. *)
+
+val write_chrome_json : t -> path:string -> unit

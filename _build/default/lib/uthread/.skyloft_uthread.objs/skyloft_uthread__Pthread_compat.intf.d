@@ -1,0 +1,1 @@
+lib/uthread/pthread_compat.mli:

@@ -1,0 +1,1 @@
+lib/uthread/uthread.ml: Effect Fun List Printf Queue

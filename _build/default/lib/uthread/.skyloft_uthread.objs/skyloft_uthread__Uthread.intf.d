@@ -1,0 +1,1 @@
+lib/uthread/uthread.mli:

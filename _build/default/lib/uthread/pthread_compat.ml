@@ -1,0 +1,20 @@
+type pthread_t = Uthread.t
+type pthread_mutex_t = Uthread.Mutex.mutex
+type pthread_cond_t = Uthread.Condvar.condvar
+
+let pthread_create f = Uthread.spawn f
+let pthread_join t = Uthread.join t
+let pthread_yield () = Uthread.yield ()
+
+(* In the cooperative model "exit" is just a final reschedule; a body that
+   wants to stop simply returns. *)
+let pthread_exit () = Uthread.yield ()
+
+let pthread_mutex_init () = Uthread.Mutex.create ()
+let pthread_mutex_lock = Uthread.Mutex.lock
+let pthread_mutex_trylock = Uthread.Mutex.try_lock
+let pthread_mutex_unlock = Uthread.Mutex.unlock
+let pthread_cond_init () = Uthread.Condvar.create ()
+let pthread_cond_wait = Uthread.Condvar.wait
+let pthread_cond_signal = Uthread.Condvar.signal
+let pthread_cond_broadcast = Uthread.Condvar.broadcast

@@ -1,0 +1,31 @@
+(** POSIX-flavoured facade over {!Uthread}.
+
+    The paper's LibOS exposes POSIX-compatible threading APIs so
+    applications can switch between Linux and Skyloft scheduling without
+    source changes (§2.4, §3.1).  This module gives ported code the
+    familiar names over the effects-based user-level threads; every call
+    maps 1:1 onto a {!Uthread} operation and stays entirely in user
+    space. *)
+
+type pthread_t
+type pthread_mutex_t
+type pthread_cond_t
+
+val pthread_create : (unit -> unit) -> pthread_t
+(** No attributes: user threads share the scheduler's one configuration. *)
+
+val pthread_join : pthread_t -> unit
+val pthread_yield : unit -> unit
+val pthread_exit : unit -> unit
+(** Cooperative model: returns to the scheduler; the calling closure must
+    unwind itself afterwards (structured bodies simply return instead). *)
+
+val pthread_mutex_init : unit -> pthread_mutex_t
+val pthread_mutex_lock : pthread_mutex_t -> unit
+val pthread_mutex_trylock : pthread_mutex_t -> bool
+val pthread_mutex_unlock : pthread_mutex_t -> unit
+
+val pthread_cond_init : unit -> pthread_cond_t
+val pthread_cond_wait : pthread_cond_t -> pthread_mutex_t -> unit
+val pthread_cond_signal : pthread_cond_t -> unit
+val pthread_cond_broadcast : pthread_cond_t -> unit

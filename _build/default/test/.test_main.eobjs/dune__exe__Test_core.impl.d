@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun List QCheck QCheck_alcotest Skyloft Skyloft_hw Skyloft_kernel Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest List Option Printf Skyloft_hw Skyloft_sim

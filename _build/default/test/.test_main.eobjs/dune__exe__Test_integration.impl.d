@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format List Printf Skyloft Skyloft_apps Skyloft_hw Skyloft_kernel Skyloft_net Skyloft_policies Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Fun List Option Printf Skyloft_hw Skyloft_kernel Skyloft_sim Skyloft_stats

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Option Skyloft_net Skyloft_sim

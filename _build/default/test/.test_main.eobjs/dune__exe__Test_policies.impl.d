@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Fun List Printf Skyloft Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Gen List Printf QCheck QCheck_alcotest Skyloft Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_stats

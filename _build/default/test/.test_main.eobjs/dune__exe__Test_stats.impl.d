@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Skyloft_stats

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Fun List Skyloft Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_uthread

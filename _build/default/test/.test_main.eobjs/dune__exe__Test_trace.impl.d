@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Skyloft Skyloft_hw Skyloft_kernel Skyloft_policies Skyloft_sim Skyloft_stats Str String Sys

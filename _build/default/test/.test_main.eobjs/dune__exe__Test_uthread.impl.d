@@ -1,0 +1,1 @@
+test/test_uthread.ml: Alcotest Effect List Printf Queue Skyloft_uthread

@@ -1,0 +1,424 @@
+(* Tests for the Skyloft core: tasks, runqueues, the per-CPU runtime
+   (timer delegation, preemption, multi-app switching) and the centralized
+   runtime (dispatcher, quantum preemption, BE co-scheduling). *)
+
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Coro = Skyloft_sim.Coro
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Costs = Skyloft_hw.Costs
+module Kmod = Skyloft_kernel.Kmod
+module Histogram = Skyloft_stats.Histogram
+module Summary = Skyloft_stats.Summary
+module Task = Skyloft.Task
+module Runqueue = Skyloft.Runqueue
+module Sched_ops = Skyloft.Sched_ops
+module App = Skyloft.App
+module Percpu = Skyloft.Percpu
+module Centralized = Skyloft.Centralized
+
+let check = Alcotest.check
+
+(* ---- Runqueue ---- *)
+
+let mk_task name = Task.create ~app:1 ~name Coro.Exit
+
+let test_runqueue_fifo () =
+  let q = Runqueue.create () in
+  let a = mk_task "a" and b = mk_task "b" and c = mk_task "c" in
+  Runqueue.push_tail q a;
+  Runqueue.push_tail q b;
+  Runqueue.push_head q c;
+  check Alcotest.int "length" 3 (Runqueue.length q);
+  check (Alcotest.list Alcotest.string) "order c a b" [ "c"; "a"; "b" ]
+    (List.map (fun (t : Task.t) -> t.name) (Runqueue.to_list q));
+  check Alcotest.string "pop head" "c"
+    (match Runqueue.pop_head q with Some t -> t.Task.name | None -> "?");
+  check Alcotest.string "pop tail" "b"
+    (match Runqueue.pop_tail q with Some t -> t.Task.name | None -> "?");
+  check Alcotest.int "one left" 1 (Runqueue.length q)
+
+let test_runqueue_remove () =
+  let q = Runqueue.create () in
+  let a = mk_task "a" and b = mk_task "b" and c = mk_task "c" in
+  List.iter (Runqueue.push_tail q) [ a; b; c ];
+  check Alcotest.bool "remove middle" true (Runqueue.remove q b);
+  check Alcotest.bool "remove again is false" false (Runqueue.remove q b);
+  check (Alcotest.list Alcotest.string) "a c left" [ "a"; "c" ]
+    (List.map (fun (t : Task.t) -> t.name) (Runqueue.to_list q))
+
+let test_runqueue_double_insert_rejected () =
+  let q = Runqueue.create () in
+  let a = mk_task "a" in
+  Runqueue.push_tail q a;
+  check Alcotest.bool "double insert raises" true
+    (try
+       Runqueue.push_tail q a;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_runqueue_fifo_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"runqueue preserves FIFO order" ~count:100
+       QCheck.(small_list small_int)
+       (fun xs ->
+         let q = Runqueue.create () in
+         let tasks = List.map (fun x -> (x, mk_task (string_of_int x))) xs in
+         List.iter (fun (_, t) -> Runqueue.push_tail q t) tasks;
+         let rec drain acc =
+           match Runqueue.pop_head q with
+           | Some t -> drain (t.Task.name :: acc)
+           | None -> List.rev acc
+         in
+         drain [] = List.map (fun (_, t) -> t.Task.name) tasks))
+
+(* ---- a trivial FIFO policy for runtime tests ---- *)
+
+let fifo_ctor : Sched_ops.ctor =
+ fun view ->
+  let q = Runqueue.create () in
+  {
+    Sched_ops.policy_name = "test-fifo";
+    task_init = ignore;
+    task_terminate = ignore;
+    task_enqueue = (fun ~cpu:_ ~reason:_ task -> Runqueue.push_tail q task);
+    task_dequeue = (fun ~cpu:_ -> Runqueue.pop_head q);
+    task_block = (fun ~cpu:_ _ -> ());
+    task_wakeup =
+      (fun ~waker_cpu task ->
+        Runqueue.push_tail q task;
+        Sched_ops.wakeup_to_idle_or view ~fallback:waker_cpu);
+    sched_timer_tick = (fun ~cpu:_ _ -> false);
+    sched_balance = Sched_ops.no_balance;
+  }
+
+(* RR policy with a given slice, local queue per core *)
+let rr_ctor slice : Sched_ops.ctor =
+ fun view ->
+  let q = Runqueue.create () in
+  {
+    Sched_ops.policy_name = "test-rr";
+    task_init = ignore;
+    task_terminate = ignore;
+    task_enqueue = (fun ~cpu:_ ~reason:_ task -> Runqueue.push_tail q task);
+    task_dequeue = (fun ~cpu:_ -> Runqueue.pop_head q);
+    task_block = (fun ~cpu:_ _ -> ());
+    task_wakeup =
+      (fun ~waker_cpu task ->
+        Runqueue.push_tail q task;
+        Sched_ops.wakeup_to_idle_or view ~fallback:waker_cpu);
+    sched_timer_tick =
+      (fun ~cpu:_ task ->
+        (not (Runqueue.is_empty q)) && view.now () - task.Task.run_start >= slice);
+    sched_balance = Sched_ops.no_balance;
+  }
+
+let make_percpu ?(cores = 4) ?(timer_hz = 100_000) ?(preemption = true) ctor =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:8) in
+  let kmod = Kmod.create machine in
+  let rt = Percpu.create machine kmod ~cores:(List.init cores Fun.id) ~timer_hz ~preemption ctor in
+  (engine, machine, rt)
+
+(* ---- Percpu runtime ---- *)
+
+let test_percpu_runs_task () =
+  let engine, _, rt = make_percpu fifo_ctor in
+  let app = Percpu.create_app rt ~name:"app" in
+  let done_at = ref 0 in
+  ignore
+    (Percpu.spawn rt app ~name:"t" ~service:(Time.us 100)
+       (Coro.Compute (Time.us 100, fun () -> done_at := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 1) engine;
+  check Alcotest.bool "ran" true (!done_at > 0);
+  check Alcotest.int "completed count" 1 app.App.completed;
+  check Alcotest.int "recorded" 1 (Summary.requests app.App.summary)
+
+let test_percpu_parallelism () =
+  let engine, _, rt = make_percpu ~cores:4 fifo_ctor in
+  let app = Percpu.create_app rt ~name:"app" in
+  let last = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (Percpu.spawn rt app ~name:"t"
+         (Coro.Compute (Time.ms 1, fun () -> last := Engine.now engine; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.bool "4 tasks on 4 cores in ~1ms" true (!last < Time.ms 2);
+  check Alcotest.int "all done" 4 app.App.completed
+
+let test_percpu_timer_ticks_happen () =
+  let engine, _, rt = make_percpu ~cores:1 ~timer_hz:10_000 fifo_ctor in
+  let app = Percpu.create_app rt ~name:"app" in
+  ignore (Percpu.spawn rt app ~name:"hog" (Coro.compute_then_exit (Time.ms 5)));
+  Engine.run ~until:(Time.ms 5) engine;
+  (* 10kHz for 5ms on a busy core: ~50 ticks *)
+  check Alcotest.bool "ticks counted" true (Percpu.timer_ticks rt >= 40)
+
+let test_percpu_no_preemption_mode () =
+  let engine, _, rt = make_percpu ~cores:1 ~preemption:false fifo_ctor in
+  let app = Percpu.create_app rt ~name:"app" in
+  ignore (Percpu.spawn rt app ~name:"hog" (Coro.compute_then_exit (Time.ms 5)));
+  Engine.run ~until:(Time.ms 6) engine;
+  check Alcotest.int "no ticks" 0 (Percpu.timer_ticks rt);
+  check Alcotest.int "still completes" 1 app.App.completed
+
+let test_percpu_rr_preemption () =
+  (* One core, RR 50us slices: a long task and a short task interleave; the
+     short one finishes long before the long one. *)
+  let engine, _, rt = make_percpu ~cores:1 (rr_ctor (Time.us 50)) in
+  let app = Percpu.create_app rt ~name:"app" in
+  let long_done = ref 0 and short_done = ref 0 in
+  ignore
+    (Percpu.spawn rt app ~name:"long"
+       (Coro.Compute (Time.ms 2, fun () -> long_done := Engine.now engine; Coro.Exit)));
+  ignore
+    (Percpu.spawn rt app ~name:"short"
+       (Coro.Compute (Time.us 100, fun () -> short_done := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.bool "short escapes head-of-line blocking" true
+    (!short_done > 0 && !short_done < Time.us 400);
+  check Alcotest.bool "long still finishes" true (!long_done > Time.ms 2);
+  check Alcotest.bool "preemptions happened" true (Percpu.preemptions rt > 0)
+
+let test_percpu_fifo_hol_blocking () =
+  (* Same workload without preemption: the short task waits for the long. *)
+  let engine, _, rt = make_percpu ~cores:1 ~preemption:false fifo_ctor in
+  let app = Percpu.create_app rt ~name:"app" in
+  let short_done = ref 0 in
+  ignore (Percpu.spawn rt app ~name:"long" (Coro.compute_then_exit (Time.ms 2)));
+  ignore
+    (Percpu.spawn rt app ~name:"short"
+       (Coro.Compute (Time.us 100, fun () -> short_done := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.bool "short suffered HoL blocking" true (!short_done > Time.ms 2)
+
+let test_percpu_block_wakeup_latency () =
+  let engine, _, rt = make_percpu ~cores:2 fifo_ctor in
+  let app = Percpu.create_app rt ~name:"app" in
+  let woke = ref false in
+  let sleeper =
+    Percpu.spawn rt app ~name:"sleeper" (Coro.Block (fun () -> woke := true; Coro.Exit))
+  in
+  ignore (Engine.at engine (Time.us 100) (fun () -> Percpu.wakeup rt sleeper));
+  Engine.run ~until:(Time.ms 1) engine;
+  check Alcotest.bool "woken" true !woke;
+  let h = Percpu.wakeup_hist rt in
+  check Alcotest.int "one sample" 1 (Histogram.count h);
+  (* user-space wakeup on an idle core: sub-microsecond *)
+  check Alcotest.bool "sub-us wakeup" true (Histogram.max_value h < Time.us 1)
+
+let test_percpu_multi_app_switching () =
+  (* Two applications sharing one core: switching between their tasks must
+     go through the kernel module and be counted. *)
+  let engine, _, rt = make_percpu ~cores:1 (rr_ctor (Time.us 20)) in
+  let app1 = Percpu.create_app rt ~name:"lc" in
+  let app2 = Percpu.create_app rt ~name:"be" in
+  ignore (Percpu.spawn rt app1 ~name:"a" (Coro.compute_then_exit (Time.us 200)));
+  ignore (Percpu.spawn rt app2 ~name:"b" (Coro.compute_then_exit (Time.us 200)));
+  Engine.run ~until:(Time.ms 2) engine;
+  check Alcotest.int "both done" 2 (app1.App.completed + app2.App.completed);
+  check Alcotest.bool "app switches happened" true (Percpu.app_switches rt >= 2);
+  check Alcotest.bool "both apps got CPU" true
+    (app1.App.busy_ns > 0 && app2.App.busy_ns > 0)
+
+let test_percpu_app_switch_costs_more () =
+  (* The same interleaving within one app vs across apps: cross-app must
+     take longer in total (1905ns vs 37ns per switch). *)
+  let run two_apps =
+    let engine, _, rt = make_percpu ~cores:1 (rr_ctor (Time.us 10)) in
+    let app1 = Percpu.create_app rt ~name:"a1" in
+    let app2 = if two_apps then Percpu.create_app rt ~name:"a2" else app1 in
+    let finished = ref 0 in
+    let spawn app name =
+      ignore
+        (Percpu.spawn rt app ~name
+           (Coro.Compute (Time.us 300, fun () -> finished := Engine.now engine; Coro.Exit)))
+    in
+    spawn app1 "x";
+    spawn app2 "y";
+    Engine.run ~until:(Time.ms 5) engine;
+    !finished
+  in
+  let same = run false and cross = run true in
+  check Alcotest.bool "cross-app interleaving is slower" true (cross > same + Time.us 20)
+
+let test_percpu_uipi_preemption () =
+  (* Dispatcher-style preemption: send a user IPI to a busy core; its
+     handler asks the policy, which preempts at quantum expiry. *)
+  let engine, _, rt = make_percpu ~cores:2 ~preemption:false (rr_ctor (Time.us 10)) in
+  let app = Percpu.create_app rt ~name:"app" in
+  ignore (Percpu.spawn rt app ~name:"long" ~cpu:0 (Coro.compute_then_exit (Time.ms 1)));
+  ignore (Percpu.spawn rt app ~name:"waiting" ~cpu:0 (Coro.compute_then_exit (Time.us 10)));
+  (* preemption disabled -> no timer; send an explicit user IPI at 100us *)
+  ignore
+    (Engine.at engine (Time.us 100) (fun () ->
+         Percpu.preempt_core rt ~src_core:1 ~dst_core:0));
+  Engine.run ~until:(Time.ms 3) engine;
+  check Alcotest.bool "IPI preempted the long task" true (Percpu.preemptions rt >= 1)
+
+let test_percpu_requires_cores () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2) in
+  let kmod = Kmod.create machine in
+  check Alcotest.bool "no cores rejected" true
+    (try
+       ignore (Percpu.create machine kmod ~cores:[] fifo_ctor);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Centralized runtime ---- *)
+
+let make_centralized ?(workers = 4) ?(quantum = Time.us 30) ?mechanism ?be_reclaim () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:8) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Centralized.create machine kmod ~dispatcher_core:0
+      ~worker_cores:(List.init workers (fun i -> i + 1))
+      ~quantum ?mechanism ?be_reclaim
+      (fun view ->
+        ignore view;
+        fifo_ctor view)
+  in
+  (engine, machine, rt)
+
+let test_centralized_basic () =
+  let engine, _, rt = make_centralized () in
+  let app = Centralized.create_app rt ~name:"lc" in
+  let done_ = ref 0 in
+  for _ = 1 to 8 do
+    ignore
+      (Centralized.submit rt app ~name:"req" ~service:(Time.us 10)
+         (Coro.Compute (Time.us 10, fun () -> incr done_; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 1) engine;
+  check Alcotest.int "all requests served" 8 !done_;
+  check Alcotest.int "dispatches counted" 8 (Centralized.dispatches rt)
+
+let test_centralized_quantum_preemption () =
+  (* 1 worker: a 1ms request then a 10us request.  With a 30us quantum the
+     short request must NOT wait the full 1ms. *)
+  let engine, _, rt = make_centralized ~workers:1 ~quantum:(Time.us 30) () in
+  let app = Centralized.create_app rt ~name:"lc" in
+  let short_done = ref 0 in
+  ignore
+    (Centralized.submit rt app ~name:"long" ~service:(Time.ms 1)
+       (Coro.compute_then_exit (Time.ms 1)));
+  ignore
+    (Centralized.submit rt app ~name:"short" ~service:(Time.us 10)
+       (Coro.Compute (Time.us 10, fun () -> short_done := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.bool "preempted" true (Centralized.preemptions rt >= 1);
+  check Alcotest.bool "short finished way before 1ms" true
+    (!short_done > 0 && !short_done < Time.us 200)
+
+let test_centralized_no_quantum_hol () =
+  let engine, _, rt = make_centralized ~workers:1 ~quantum:0 () in
+  let app = Centralized.create_app rt ~name:"lc" in
+  let short_done = ref 0 in
+  ignore
+    (Centralized.submit rt app ~name:"long" ~service:(Time.ms 1)
+       (Coro.compute_then_exit (Time.ms 1)));
+  ignore
+    (Centralized.submit rt app ~name:"short" ~service:(Time.us 10)
+       (Coro.Compute (Time.us 10, fun () -> short_done := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.int "no preemption" 0 (Centralized.preemptions rt);
+  check Alcotest.bool "short suffered HoL" true (!short_done >= Time.ms 1)
+
+let test_centralized_be_uses_idle_cores () =
+  let engine, _, rt = make_centralized ~workers:2 () in
+  let _lc = Centralized.create_app rt ~name:"lc" in
+  let be = Centralized.create_app rt ~name:"batch" in
+  Centralized.attach_be_app rt be ~chunk:(Time.us 100) ~workers:2;
+  Engine.run ~until:(Time.ms 10) engine;
+  (* With no LC load at all, BE gets ~100% of both workers. *)
+  let share = App.cpu_share be ~total_ns:(2 * Time.ms 10) in
+  check Alcotest.bool "BE share near 1.0 when idle" true (share > 0.9)
+
+let test_centralized_be_reclaimed_under_load () =
+  let engine, _, rt =
+    make_centralized ~workers:2 ~be_reclaim:(Centralized.Reclaim_periodic (Time.us 5)) ()
+  in
+  let lc = Centralized.create_app rt ~name:"lc" in
+  let be = Centralized.create_app rt ~name:"batch" in
+  Centralized.attach_be_app rt be ~chunk:(Time.us 100) ~workers:2;
+  (* Heavy LC load: 15us of work every 10us = 75% of the 2 workers *)
+  let rec gen i =
+    if i < 2000 then
+      ignore
+        (Engine.at engine (i * Time.us 10) (fun () ->
+             ignore
+               (Centralized.submit rt lc ~name:"req" ~service:(Time.us 15)
+                  (Coro.compute_then_exit (Time.us 15)));
+             gen (i + 1)))
+  in
+  gen 0;
+  (* arrivals span 20ms; leave drain time before measuring *)
+  Engine.run ~until:(Time.ms 25) engine;
+  let lc_share = App.cpu_share lc ~total_ns:(2 * Time.ms 25) in
+  let be_share = App.cpu_share be ~total_ns:(2 * Time.ms 25) in
+  check Alcotest.bool "BE cores reclaimed" true (Centralized.be_preemptions rt > 0);
+  check Alcotest.bool "LC dominates under saturation" true (lc_share > 2.0 *. be_share);
+  check Alcotest.int "all LC served" 2000 lc.App.completed
+
+let test_centralized_dispatcher_serializes () =
+  (* With an expensive dispatcher (ghOSt-like), throughput is capped by
+     dispatch cost: 100 requests x 2us dispatch >= 200us of dispatcher
+     time even though 4 workers could run the 1us requests faster. *)
+  let mech = { Centralized.ghost_mechanism with dispatch_cost = Time.us 2 } in
+  let engine, _, rt = make_centralized ~workers:4 ~mechanism:mech () in
+  let app = Centralized.create_app rt ~name:"lc" in
+  let last_done = ref 0 in
+  for _ = 1 to 100 do
+    ignore
+      (Centralized.submit rt app ~name:"req" ~service:1_000
+         (Coro.Compute (1_000, fun () -> last_done := Engine.now engine; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.bool "dispatcher-bound completion time" true (!last_done >= Time.us 200)
+
+let test_centralized_invalid_config () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  check Alcotest.bool "dispatcher in worker set rejected" true
+    (try
+       ignore
+         (Centralized.create machine kmod ~dispatcher_core:1 ~worker_cores:[ 1; 2 ]
+            ~quantum:0 fifo_ctor);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "runqueue: fifo + deque" `Quick test_runqueue_fifo;
+    Alcotest.test_case "runqueue: remove" `Quick test_runqueue_remove;
+    Alcotest.test_case "runqueue: double insert" `Quick test_runqueue_double_insert_rejected;
+    prop_runqueue_fifo_order;
+    Alcotest.test_case "percpu: runs a task" `Quick test_percpu_runs_task;
+    Alcotest.test_case "percpu: parallelism" `Quick test_percpu_parallelism;
+    Alcotest.test_case "percpu: timer ticks" `Quick test_percpu_timer_ticks_happen;
+    Alcotest.test_case "percpu: no-preemption mode" `Quick test_percpu_no_preemption_mode;
+    Alcotest.test_case "percpu: RR preemption beats HoL" `Quick test_percpu_rr_preemption;
+    Alcotest.test_case "percpu: FIFO suffers HoL" `Quick test_percpu_fifo_hol_blocking;
+    Alcotest.test_case "percpu: block/wakeup" `Quick test_percpu_block_wakeup_latency;
+    Alcotest.test_case "percpu: multi-app switching" `Quick test_percpu_multi_app_switching;
+    Alcotest.test_case "percpu: app switch cost" `Quick test_percpu_app_switch_costs_more;
+    Alcotest.test_case "percpu: user-IPI preemption" `Quick test_percpu_uipi_preemption;
+    Alcotest.test_case "percpu: needs cores" `Quick test_percpu_requires_cores;
+    Alcotest.test_case "centralized: basic" `Quick test_centralized_basic;
+    Alcotest.test_case "centralized: quantum preemption" `Quick
+      test_centralized_quantum_preemption;
+    Alcotest.test_case "centralized: HoL without quantum" `Quick
+      test_centralized_no_quantum_hol;
+    Alcotest.test_case "centralized: BE gets idle cores" `Quick
+      test_centralized_be_uses_idle_cores;
+    Alcotest.test_case "centralized: BE reclaimed under load" `Quick
+      test_centralized_be_reclaimed_under_load;
+    Alcotest.test_case "centralized: dispatcher serializes" `Quick
+      test_centralized_dispatcher_serializes;
+    Alcotest.test_case "centralized: invalid config" `Quick test_centralized_invalid_config;
+  ]

@@ -1,0 +1,232 @@
+(* Tests for the §6 extension features: MPK shared-memory protection,
+   user-delegated peripheral interrupts (MSI NIC), blocking-event handling,
+   and the periodic NIC polling mode. *)
+
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Rng = Skyloft_sim.Rng
+module Dist = Skyloft_sim.Dist
+module Coro = Skyloft_sim.Coro
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Mpk = Skyloft_hw.Mpk
+module Vectors = Skyloft_hw.Vectors
+module Kmod = Skyloft_kernel.Kmod
+module Percpu = Skyloft.Percpu
+module App = Skyloft.App
+module Summary = Skyloft_stats.Summary
+module Nic = Skyloft_net.Nic
+module Packet = Skyloft_net.Packet
+module Loadgen = Skyloft_net.Loadgen
+module Udp_server = Skyloft_apps.Udp_server
+
+let check = Alcotest.check
+
+(* ---- MPK ---- *)
+
+let test_mpk_default_permissive () =
+  let mpk = Mpk.create ~cores:2 in
+  let key = Mpk.fresh_pkey mpk in
+  let region = Mpk.tag_region mpk ~name:"runqueue" key in
+  Mpk.read mpk ~core:0 region;
+  Mpk.write mpk ~core:0 region
+
+let test_mpk_denies_after_revoke () =
+  let mpk = Mpk.create ~cores:2 in
+  let key = Mpk.fresh_pkey mpk in
+  let region = Mpk.tag_region mpk ~name:"runqueue" key in
+  Mpk.wrpkru mpk ~core:0 key ~allow_read:false ~allow_write:false;
+  check Alcotest.bool "read faults" true
+    (try
+       Mpk.read mpk ~core:0 region;
+       false
+     with Mpk.Protection_fault _ -> true);
+  check Alcotest.bool "write faults" true
+    (try
+       Mpk.write mpk ~core:0 region;
+       false
+     with Mpk.Protection_fault _ -> true);
+  (* per-core: core 1 untouched *)
+  Mpk.read mpk ~core:1 region
+
+let test_mpk_write_disable_only () =
+  let mpk = Mpk.create ~cores:1 in
+  let key = Mpk.fresh_pkey mpk in
+  let region = Mpk.tag_region mpk ~name:"meta" key in
+  Mpk.wrpkru mpk ~core:0 key ~allow_read:true ~allow_write:false;
+  Mpk.read mpk ~core:0 region;
+  check Alcotest.bool "write still faults" true
+    (try
+       Mpk.write mpk ~core:0 region;
+       false
+     with Mpk.Protection_fault _ -> true)
+
+let test_mpk_guardian () =
+  let mpk = Mpk.create ~cores:1 in
+  let key = Mpk.fresh_pkey mpk in
+  let region = Mpk.tag_region mpk ~name:"shared-rq" key in
+  Mpk.wrpkru mpk ~core:0 key ~allow_read:false ~allow_write:false;
+  (* inside the guardian: the scheduler may touch the shared state *)
+  Mpk.with_guardian mpk ~core:0 key (fun () ->
+      Mpk.read mpk ~core:0 region;
+      Mpk.write mpk ~core:0 region);
+  (* outside again: application code faults *)
+  check Alcotest.bool "revoked after guardian" true
+    (try
+       Mpk.write mpk ~core:0 region;
+       false
+     with Mpk.Protection_fault _ -> true)
+
+let test_mpk_guardian_restores_on_exception () =
+  let mpk = Mpk.create ~cores:1 in
+  let key = Mpk.fresh_pkey mpk in
+  let region = Mpk.tag_region mpk ~name:"shared" key in
+  Mpk.wrpkru mpk ~core:0 key ~allow_read:false ~allow_write:false;
+  (try Mpk.with_guardian mpk ~core:0 key (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  check Alcotest.bool "still revoked after exception" true
+    (try
+       Mpk.read mpk ~core:0 region;
+       false
+     with Mpk.Protection_fault _ -> true)
+
+let test_mpk_key_exhaustion () =
+  let mpk = Mpk.create ~cores:1 in
+  for _ = 1 to 15 do
+    ignore (Mpk.fresh_pkey mpk)
+  done;
+  check Alcotest.bool "16th allocation fails" true
+    (try
+       ignore (Mpk.fresh_pkey mpk);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- NIC modes ---- *)
+
+let pkt ~at ~flow = Packet.create ~arrival:at ~service:(Time.us 1) ~flow ~kind:"r"
+
+let test_nic_periodic_mode_batches () =
+  let engine = Engine.create () in
+  let nic = Nic.create engine ~queues:1 ~mode:(Nic.Periodic (Time.us 10)) () in
+  let got = ref [] in
+  Nic.on_packet nic ~queue:0 (fun p -> got := (Engine.now engine, p.Packet.flow) :: !got);
+  Nic.rx nic (pkt ~at:0 ~flow:1);
+  Nic.rx nic (pkt ~at:0 ~flow:2);
+  Engine.run ~until:(Time.us 25) engine;
+  (* both delivered together at the first poll boundary *)
+  match List.rev !got with
+  | [ (t1, 1); (t2, 2) ] ->
+      check Alcotest.int "first at poll tick" (Time.us 10) t1;
+      check Alcotest.int "second same tick" (Time.us 10) t2
+  | _ -> Alcotest.fail "expected two batched deliveries"
+
+let make_msi_server () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  let cores = [ 0; 1 ] in
+  let rt =
+    Percpu.create machine kmod ~cores ~preemption:false
+      (Skyloft_policies.Work_stealing.create ())
+  in
+  let app = Percpu.create_app rt ~name:"srv" in
+  let nic =
+    Nic.create engine ~queues:2 ~mode:(Nic.Msi { machine; cores = [| 0; 1 |] }) ()
+  in
+  Udp_server.attach_irq rt app nic ~cores;
+  (engine, rt, app, nic)
+
+let test_nic_msi_end_to_end () =
+  let engine, _, app, nic = make_msi_server () in
+  let rng = Rng.create ~seed:2 in
+  Loadgen.poisson engine ~rng ~rate_rps:100_000.0 ~service:(Dist.Constant (Time.us 2))
+    ~duration:(Time.ms 10) (fun p -> Nic.rx nic p);
+  Engine.run ~until:(Time.ms 15) engine;
+  check Alcotest.bool "~1000 served over MSI" true (Summary.requests app.App.summary > 800);
+  (* MSI delivery latency: ~0.6us + handler; p50 stays a few us *)
+  check Alcotest.bool "latency small" true
+    (Summary.latency_p app.App.summary 50.0 < Time.us 10)
+
+let test_nic_msi_coalesces () =
+  let engine, _, app, nic = make_msi_server () in
+  (* burst of 10 packets to the same flow at one instant: one interrupt,
+     the driver drains all of them *)
+  for _ = 1 to 10 do
+    Nic.rx nic (Packet.create ~arrival:0 ~service:(Time.us 1) ~flow:42 ~kind:"r")
+  done;
+  Engine.run ~until:(Time.ms 1) engine;
+  check Alcotest.int "all ten served" 10 (Summary.requests app.App.summary)
+
+(* ---- blocking events (page faults) ---- *)
+
+let test_fault_current_blocks_and_resumes () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Percpu.create machine kmod ~cores:[ 0 ] ~preemption:false
+      (Skyloft_policies.Fifo.create ())
+  in
+  let app = Percpu.create_app rt ~name:"a" in
+  let faulted_done = ref 0 and other_done = ref 0 in
+  ignore
+    (Percpu.spawn rt app ~name:"faulty"
+       (Coro.Compute (Time.us 100, fun () -> faulted_done := Engine.now engine; Coro.Exit)));
+  ignore
+    (Percpu.spawn rt app ~name:"other"
+       (Coro.Compute (Time.us 50, fun () -> other_done := Engine.now engine; Coro.Exit)));
+  (* fault the running task at t=10us for 200us *)
+  ignore
+    (Engine.at engine (Time.us 10) (fun () ->
+         check Alcotest.bool "fault accepted" true
+           (Percpu.fault_current rt ~core:0 ~duration:(Time.us 200))));
+  Engine.run ~until:(Time.ms 2) engine;
+  (* the other task ran during the fault window *)
+  check Alcotest.bool "other finished during the fault" true
+    (!other_done > 0 && !other_done < Time.us 100);
+  (* the faulted task resumed and finished its remaining 90us after 210us *)
+  check Alcotest.bool "faulted task completed after resume" true
+    (!faulted_done >= Time.us 210 && !faulted_done < Time.us 400)
+
+let test_fault_on_idle_core () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Percpu.create machine kmod ~cores:[ 0 ] ~preemption:false
+      (Skyloft_policies.Fifo.create ())
+  in
+  ignore (Percpu.create_app rt ~name:"a");
+  check Alcotest.bool "no task to fault" false
+    (Percpu.fault_current rt ~core:0 ~duration:(Time.us 10));
+  ignore engine
+
+(* ---- register_uvec validation ---- *)
+
+let test_register_uvec_reserved () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2) in
+  let kmod = Kmod.create machine in
+  let rt = Percpu.create machine kmod ~cores:[ 0 ] (Skyloft_policies.Fifo.create ()) in
+  check Alcotest.bool "timer uvec reserved" true
+    (try
+       Percpu.register_uvec rt ~uvec:Vectors.uvec_timer (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "mpk: permissive default" `Quick test_mpk_default_permissive;
+    Alcotest.test_case "mpk: revoke denies" `Quick test_mpk_denies_after_revoke;
+    Alcotest.test_case "mpk: write-disable" `Quick test_mpk_write_disable_only;
+    Alcotest.test_case "mpk: guardian" `Quick test_mpk_guardian;
+    Alcotest.test_case "mpk: guardian exception-safe" `Quick
+      test_mpk_guardian_restores_on_exception;
+    Alcotest.test_case "mpk: key exhaustion" `Quick test_mpk_key_exhaustion;
+    Alcotest.test_case "nic: periodic batches" `Quick test_nic_periodic_mode_batches;
+    Alcotest.test_case "nic: MSI end-to-end" `Quick test_nic_msi_end_to_end;
+    Alcotest.test_case "nic: MSI coalescing" `Quick test_nic_msi_coalesces;
+    Alcotest.test_case "fault: block and resume" `Quick test_fault_current_blocks_and_resumes;
+    Alcotest.test_case "fault: idle core" `Quick test_fault_on_idle_core;
+    Alcotest.test_case "uvec: reserved vectors" `Quick test_register_uvec_reserved;
+  ]

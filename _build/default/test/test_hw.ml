@@ -1,0 +1,331 @@
+(* Tests for the hardware model: topology, costs (Table 6 shape), machine
+   interrupt plumbing, UINTR semantics, UITT. *)
+
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Topology = Skyloft_hw.Topology
+module Costs = Skyloft_hw.Costs
+module Vectors = Skyloft_hw.Vectors
+module Machine = Skyloft_hw.Machine
+module Uitt = Skyloft_hw.Uitt
+
+let check = Alcotest.check
+
+(* ---- Topology ---- *)
+
+let test_topology_basics () =
+  let t = Topology.paper_server in
+  check Alcotest.int "48 cores" 48 (Topology.total_cores t);
+  check Alcotest.int "socket of 0" 0 (Topology.socket_of_core t 0);
+  check Alcotest.int "socket of 23" 0 (Topology.socket_of_core t 23);
+  check Alcotest.int "socket of 24" 1 (Topology.socket_of_core t 24);
+  check Alcotest.bool "cross numa" true (Topology.cross_numa t 0 24);
+  check Alcotest.bool "same numa" false (Topology.cross_numa t 0 23)
+
+let test_topology_invalid () =
+  check Alcotest.bool "bad core id" true
+    (try
+       ignore (Topology.socket_of_core Topology.paper_server 48);
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "bad create" true
+    (try
+       ignore (Topology.create ~sockets:0 ~cores_per_socket:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Costs: composed mechanisms track the paper's Table 6 ---- *)
+
+let within_pct ~pct a b =
+  let a = float_of_int a and b = float_of_int b in
+  abs_float (a -. b) <= pct /. 100.0 *. b
+
+let test_costs_table6_close_to_paper () =
+  List.iter2
+    (fun (m : Costs.mechanism) (pname, psend, precv, pdeliv) ->
+      check Alcotest.string "row name" pname m.name;
+      (match (m.send, psend) with
+      | Some s, Some ps ->
+          check Alcotest.bool
+            (Printf.sprintf "%s send %d ~ %d" m.name s ps)
+            true (within_pct ~pct:10.0 s ps)
+      | None, None -> ()
+      | _ -> Alcotest.fail "send column shape mismatch");
+      check Alcotest.bool
+        (Printf.sprintf "%s receive %d ~ %d" m.name m.receive precv)
+        true
+        (within_pct ~pct:10.0 m.receive precv);
+      match (m.delivery, pdeliv) with
+      | Some d, Some pd ->
+          check Alcotest.bool
+            (Printf.sprintf "%s delivery %d ~ %d" m.name d pd)
+            true (within_pct ~pct:10.0 d pd)
+      | None, None -> ()
+      | _ -> Alcotest.fail "delivery column shape mismatch")
+    Costs.table6 Costs.paper_table6
+
+let test_costs_orderings () =
+  (* The qualitative claims of §5.4. *)
+  let get = function Some x -> x | None -> 0 in
+  check Alcotest.bool "signal send >> user IPI send" true
+    (get Costs.signal.send > 5 * get Costs.user_ipi.send);
+  check Alcotest.bool "kernel IPI send > user IPI send" true
+    (get Costs.kernel_ipi.send > get Costs.user_ipi.send);
+  check Alcotest.bool "signal receive ~ 10x user IPI receive" true
+    (Costs.signal.receive > 8 * Costs.user_ipi.receive);
+  check Alcotest.bool "setitimer ~ 8x user timer" true
+    (Costs.setitimer.receive > 7 * Costs.user_timer.receive);
+  check Alcotest.bool "user timer receive < user IPI receive" true
+    (Costs.user_timer.receive < Costs.user_ipi.receive);
+  check Alcotest.bool "cross-NUMA delivery penalty" true
+    (get Costs.user_ipi_cross_numa.delivery > get Costs.user_ipi.delivery)
+
+let test_costs_ns_conversions () =
+  check Alcotest.int "user IPI send ns" (Time.of_cycles 167)
+    (Costs.uipi_send_ns ~cross_numa:false);
+  check Alcotest.bool "senduipi_sn ~123 cycles" true
+    (within_pct ~pct:5.0 Costs.senduipi_sn 123)
+
+(* ---- Machine ---- *)
+
+let make_machine () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:2 ~cores_per_socket:4) in
+  (engine, machine)
+
+let test_machine_kernel_ipi_delivery () =
+  let engine, machine = make_machine () in
+  let got = ref [] in
+  Machine.set_kernel_handler (Machine.core machine 1) (fun v ->
+      got := (Engine.now engine, v) :: !got);
+  Machine.send_ipi machine ~src:0 ~dst:1 Vectors.resched;
+  Engine.run engine;
+  match !got with
+  | [ (at, v) ] ->
+      check Alcotest.int "vector" Vectors.resched v;
+      check Alcotest.int "arrives after kipi delivery" Costs.kipi_delivery_ns at
+  | _ -> Alcotest.fail "expected exactly one interrupt"
+
+let test_machine_masking () =
+  let engine, machine = make_machine () in
+  let core = Machine.core machine 2 in
+  let got = ref [] in
+  Machine.set_kernel_handler core (fun v -> got := v :: !got);
+  Machine.mask_interrupts core;
+  Machine.send_ipi machine ~src:0 ~dst:2 11;
+  Machine.send_ipi machine ~src:0 ~dst:2 22;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "nothing while masked" [] !got;
+  Machine.unmask_interrupts core;
+  check (Alcotest.list Alcotest.int) "delivered in arrival order" [ 11; 22 ]
+    (List.rev !got)
+
+let test_machine_timer_periodic () =
+  let engine, machine = make_machine () in
+  let core = Machine.core machine 0 in
+  let ticks = ref 0 in
+  Machine.set_kernel_handler core (fun v -> if v = Vectors.timer then incr ticks);
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.int "10 ticks in 10ms at 1kHz" 10 !ticks;
+  Machine.timer_stop machine ~core:0;
+  let before = !ticks in
+  Engine.run ~until:(Time.ms 20) engine;
+  check Alcotest.int "no ticks after stop" before !ticks
+
+let test_machine_timer_reprogram () =
+  let engine, machine = make_machine () in
+  let core = Machine.core machine 0 in
+  let ticks = ref 0 in
+  Machine.set_kernel_handler core (fun v -> if v = Vectors.timer then incr ticks);
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  Machine.timer_set_periodic machine ~core:0 ~hz:100;
+  check Alcotest.int "hz readable" 100 (Machine.timer_hz core);
+  Engine.run ~until:(Time.ms 100) engine;
+  check Alcotest.int "only the 100Hz train survives" 10 !ticks
+
+(* ---- UINTR semantics ---- *)
+
+let test_uintr_senduipi_delivers () =
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let got = ref [] in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification (fun ~uvec ->
+      got := (Engine.now engine, uvec) :: !got);
+  Machine.uintr_install machine ~core:3 ctx;
+  Machine.senduipi machine ~src_core:0 ctx ~uvec:5;
+  Engine.run engine;
+  match !got with
+  | [ (at, uvec) ] ->
+      check Alcotest.int "uvec" 5 uvec;
+      check Alcotest.int "delivery latency" (Costs.uipi_delivery_ns ~cross_numa:false) at
+  | _ -> Alcotest.fail "expected one user interrupt"
+
+let test_uintr_sn_suppresses_ipi () =
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let got = ref 0 in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification (fun ~uvec:_ ->
+      incr got);
+  Machine.uintr_install machine ~core:3 ctx;
+  Machine.uintr_set_sn ctx true;
+  Machine.senduipi machine ~src_core:0 ctx ~uvec:5;
+  Engine.run engine;
+  check Alcotest.int "no delivery with SN set" 0 !got;
+  check Alcotest.bool "but PIR is posted" true (Machine.uintr_pir_pending ctx)
+
+let test_uintr_pending_pir_fires_on_install () =
+  (* A parked application's UPID accumulates interrupts; they deliver when
+     the kernel installs the context (thread switched in). *)
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let got = ref [] in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification (fun ~uvec ->
+      got := uvec :: !got);
+  Machine.senduipi machine ~src_core:0 ctx ~uvec:7;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "nothing while uninstalled" [] !got;
+  Machine.uintr_install machine ~core:1 ctx;
+  check (Alcotest.list Alcotest.int) "recognised at install" [ 7 ] !got
+
+let test_uintr_timer_delegation_needs_pir () =
+  (* The §3.2 subtlety: delegating the timer vector alone is NOT enough —
+     with an empty PIR the notification is dropped. *)
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let fired = ref 0 in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.timer (fun ~uvec:_ -> incr fired);
+  Machine.uintr_set_sn ctx true;
+  Machine.uintr_install machine ~core:0 ctx;
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.int "all notifications dropped: PIR empty" 0 !fired;
+  check Alcotest.int "drops counted" 5
+    (Machine.dropped_notifications (Machine.core machine 0))
+
+let test_uintr_timer_delegation_with_self_post () =
+  (* Full §3.2 protocol: SN=1, prime the PIR, re-post in the handler. *)
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let fired = ref 0 in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.timer (fun ~uvec ->
+      if uvec = Vectors.uvec_timer then begin
+        incr fired;
+        (* Listing 1 line 5: reset UPID.PIR for the next timer *)
+        Machine.senduipi machine ~src_core:0 ctx ~uvec:Vectors.uvec_timer
+      end);
+  Machine.uintr_set_sn ctx true;
+  Machine.uintr_install machine ~core:0 ctx;
+  (* prime the PIR *)
+  Machine.senduipi machine ~src_core:0 ctx ~uvec:Vectors.uvec_timer;
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.int "every tick handled in user space" 10 !fired
+
+let test_uintr_timer_delegation_without_repost_stops () =
+  (* Forgetting the handler re-post: only the first tick arrives. *)
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let fired = ref 0 in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.timer (fun ~uvec:_ -> incr fired);
+  Machine.uintr_set_sn ctx true;
+  Machine.uintr_install machine ~core:0 ctx;
+  Machine.senduipi machine ~src_core:0 ctx ~uvec:Vectors.uvec_timer;
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.int "only the first interrupt delivered" 1 !fired
+
+let test_uintr_uninstall () =
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let got = ref 0 in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification (fun ~uvec:_ ->
+      incr got);
+  Machine.uintr_install machine ~core:1 ctx;
+  Machine.uintr_uninstall machine ~core:1;
+  check (Alcotest.option Alcotest.unit) "uninstalled" None
+    (Option.map ignore (Machine.uintr_installed machine ~core:1));
+  Machine.senduipi machine ~src_core:0 ctx ~uvec:1;
+  Engine.run engine;
+  check Alcotest.int "no delivery when uninstalled" 0 !got;
+  (* ... but it fires on re-install. *)
+  Machine.uintr_install machine ~core:1 ctx;
+  check Alcotest.int "pending fires on reinstall" 1 !got
+
+let test_uintr_bad_uvec () =
+  let _, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  check Alcotest.bool "uvec > 63 rejected" true
+    (try
+       Machine.senduipi machine ~src_core:0 ctx ~uvec:64;
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- UITT ---- *)
+
+let test_uitt_senduipi () =
+  let engine, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let got = ref [] in
+  Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification (fun ~uvec ->
+      got := uvec :: !got);
+  Machine.uintr_install machine ~core:2 ctx;
+  let uitt = Uitt.create machine ~size:8 in
+  Uitt.set uitt 3 ctx ~uvec:9;
+  Uitt.senduipi uitt ~src_core:0 3;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "delivered via UITT" [ 9 ] !got
+
+let test_uitt_empty_entry_gp () =
+  let _, machine = make_machine () in
+  let uitt = Uitt.create machine ~size:4 in
+  check Alcotest.bool "empty entry faults" true
+    (try
+       Uitt.senduipi uitt ~src_core:0 2;
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.bool "out of range faults" true
+    (try
+       Uitt.senduipi uitt ~src_core:0 99;
+       false
+     with Invalid_argument _ -> true)
+
+let test_uitt_clear () =
+  let _, machine = make_machine () in
+  let ctx = Machine.uintr_create_ctx () in
+  let uitt = Uitt.create machine ~size:4 in
+  Uitt.set uitt 0 ctx ~uvec:1;
+  Uitt.clear uitt 0;
+  check Alcotest.bool "cleared entry faults" true
+    (try
+       Uitt.senduipi uitt ~src_core:0 0;
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "topology: basics" `Quick test_topology_basics;
+    Alcotest.test_case "topology: invalid" `Quick test_topology_invalid;
+    Alcotest.test_case "costs: table 6 vs paper" `Quick test_costs_table6_close_to_paper;
+    Alcotest.test_case "costs: qualitative orderings" `Quick test_costs_orderings;
+    Alcotest.test_case "costs: ns conversions" `Quick test_costs_ns_conversions;
+    Alcotest.test_case "machine: kernel IPI delivery" `Quick test_machine_kernel_ipi_delivery;
+    Alcotest.test_case "machine: masking" `Quick test_machine_masking;
+    Alcotest.test_case "machine: periodic timer" `Quick test_machine_timer_periodic;
+    Alcotest.test_case "machine: timer reprogram" `Quick test_machine_timer_reprogram;
+    Alcotest.test_case "uintr: senduipi delivers" `Quick test_uintr_senduipi_delivers;
+    Alcotest.test_case "uintr: SN suppresses" `Quick test_uintr_sn_suppresses_ipi;
+    Alcotest.test_case "uintr: pending fires on install" `Quick
+      test_uintr_pending_pir_fires_on_install;
+    Alcotest.test_case "uintr: timer delegation needs PIR" `Quick
+      test_uintr_timer_delegation_needs_pir;
+    Alcotest.test_case "uintr: timer delegation works with self-post" `Quick
+      test_uintr_timer_delegation_with_self_post;
+    Alcotest.test_case "uintr: missing re-post stops delivery" `Quick
+      test_uintr_timer_delegation_without_repost_stops;
+    Alcotest.test_case "uintr: uninstall" `Quick test_uintr_uninstall;
+    Alcotest.test_case "uintr: bad uvec" `Quick test_uintr_bad_uvec;
+    Alcotest.test_case "uitt: senduipi" `Quick test_uitt_senduipi;
+    Alcotest.test_case "uitt: empty entry" `Quick test_uitt_empty_entry_gp;
+    Alcotest.test_case "uitt: clear" `Quick test_uitt_clear;
+  ]

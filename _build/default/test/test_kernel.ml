@@ -1,0 +1,323 @@
+(* Tests for the kernel substrate: kthreads, the Linux scheduler model,
+   and the Skyloft kernel module (binding rule). *)
+
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Coro = Skyloft_sim.Coro
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Costs = Skyloft_hw.Costs
+module Kthread = Skyloft_kernel.Kthread
+module Linux = Skyloft_kernel.Linux
+module Kmod = Skyloft_kernel.Kmod
+module Histogram = Skyloft_stats.Histogram
+
+let check = Alcotest.check
+
+let make ?(cores = 4) policy =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:cores) in
+  let linux = Linux.create machine policy ~cores:(List.init cores Fun.id) in
+  (engine, machine, linux)
+
+(* ---- basic execution ---- *)
+
+let test_linux_runs_to_completion () =
+  let engine, _, linux = make Linux.cfs_default in
+  let done_ = ref false in
+  ignore
+    (Linux.spawn linux ~name:"t"
+       (Coro.Compute (Time.us 100, fun () -> done_ := true; Coro.Exit)));
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.bool "finished" true !done_;
+  check Alcotest.int "no threads left" 0 (Linux.alive linux)
+
+let test_linux_parallel_threads () =
+  let engine, _, linux = make ~cores:4 Linux.cfs_default in
+  (* 4 threads x 1ms work on 4 cores should finish in ~1ms, not 4ms *)
+  let last_done = ref 0 in
+  for i = 1 to 4 do
+    ignore
+      (Linux.spawn linux ~name:(Printf.sprintf "t%d" i)
+         (Coro.Compute (Time.ms 1, fun () -> last_done := Engine.now engine; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 20) engine;
+  check Alcotest.bool "parallel speedup" true (!last_done > 0 && !last_done < Time.ms 2)
+
+let test_linux_block_wakeup () =
+  let engine, _, linux = make Linux.cfs_default in
+  let stages = ref [] in
+  let worker =
+    Linux.spawn linux ~name:"worker"
+      (Coro.Compute
+         ( Time.us 10,
+           fun () ->
+             stages := "worked" :: !stages;
+             Coro.Block
+               (fun () ->
+                 stages := "woken" :: !stages;
+                 Coro.Exit) ))
+  in
+  ignore
+    (Linux.spawn linux ~name:"waker"
+       (Coro.Compute (Time.us 100, fun () ->
+            Linux.wakeup linux worker;
+            Coro.Exit)));
+  Engine.run ~until:(Time.ms 10) engine;
+  check (Alcotest.list Alcotest.string) "block then wake" [ "worked"; "woken" ]
+    (List.rev !stages)
+
+let test_linux_pending_wake_not_lost () =
+  let engine, _, linux = make Linux.cfs_default in
+  let finished = ref false in
+  let sleeper = ref None in
+  let worker =
+    Linux.spawn linux ~name:"w"
+      (Coro.Compute
+         ( Time.ms 1,
+           fun () ->
+             Coro.Block (fun () -> finished := true; Coro.Exit) ))
+  in
+  sleeper := Some worker;
+  (* Wake it while it is still computing: the wake must be buffered. *)
+  ignore
+    (Engine.at engine (Time.us 100) (fun () -> Linux.wakeup linux worker));
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.bool "pending wake consumed at block" true !finished
+
+let test_linux_wakeup_latency_low_load () =
+  (* With idle cores, a wakeup should start within a few microseconds. *)
+  let engine, _, linux = make ~cores:4 Linux.cfs_default in
+  let worker = Linux.spawn linux ~name:"w" (Coro.Block (fun () -> Coro.Exit)) in
+  (* let it block first *)
+  ignore (Engine.at engine (Time.us 50) (fun () -> Linux.wakeup linux worker));
+  Engine.run ~until:(Time.ms 10) engine;
+  let h = Linux.wakeup_hist linux in
+  check Alcotest.int "one wakeup sample" 1 (Histogram.count h);
+  check Alcotest.bool "wakeup < 5us on idle system" true
+    (Histogram.max_value h < Time.us 5)
+
+let test_linux_rr_slicing () =
+  (* Two CPU-hogs on one core under RR must interleave at the slice. *)
+  let engine, _, linux = make ~cores:1 (Linux.Rr { hz = 1000; slice = Time.ms 10 }) in
+  let first_done = ref 0 and second_done = ref 0 in
+  ignore
+    (Linux.spawn linux ~name:"a"
+       (Coro.Compute (Time.ms 30, fun () -> first_done := Engine.now engine; Coro.Exit)));
+  ignore
+    (Linux.spawn linux ~name:"b"
+       (Coro.Compute (Time.ms 30, fun () -> second_done := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 200) engine;
+  (* With 10ms slices they interleave: both finish close together (~60ms),
+     rather than one at 30ms and the other at 60. *)
+  check Alcotest.bool "interleaved" true
+    (abs (!first_done - !second_done) < Time.ms 15);
+  check Alcotest.bool "both near 60ms" true (!first_done > Time.ms 45)
+
+let test_linux_fifo_like_without_preemption () =
+  (* Huge slice = no interleaving: first finishes ~30ms, second ~60ms. *)
+  let engine, _, linux = make ~cores:1 (Linux.Rr { hz = 1000; slice = Time.s 100 }) in
+  let first_done = ref 0 and second_done = ref 0 in
+  ignore
+    (Linux.spawn linux ~name:"a"
+       (Coro.Compute (Time.ms 30, fun () -> first_done := Engine.now engine; Coro.Exit)));
+  ignore
+    (Linux.spawn linux ~name:"b"
+       (Coro.Compute (Time.ms 30, fun () -> second_done := Engine.now engine; Coro.Exit)));
+  Engine.run ~until:(Time.ms 200) engine;
+  check Alcotest.bool "a first" true (!first_done < Time.ms 35);
+  check Alcotest.bool "b second" true (!second_done > Time.ms 55)
+
+let test_linux_cfs_fairness () =
+  (* Two infinite-ish hogs on one core: CFS should give each ~half. *)
+  let engine, _, linux = make ~cores:1 Linux.cfs_default in
+  let a_ran = ref 0 and b_ran = ref 0 in
+  let hog counter =
+    let rec go () =
+      Coro.Compute
+        ( Time.ms 1,
+          fun () ->
+            counter := !counter + Time.ms 1;
+            if Engine.now engine < Time.ms 400 then go () else Coro.Exit )
+    in
+    go ()
+  in
+  ignore (Linux.spawn linux ~name:"a" (hog a_ran));
+  ignore (Linux.spawn linux ~name:"b" (hog b_ran));
+  Engine.run ~until:(Time.ms 500) engine;
+  let total = !a_ran + !b_ran in
+  let ratio = float_of_int !a_ran /. float_of_int total in
+  check Alcotest.bool "roughly fair split" true (ratio > 0.4 && ratio < 0.6)
+
+let test_linux_eevdf_runs () =
+  let engine, _, linux = make ~cores:2 Linux.eevdf_tuned in
+  let finished = ref 0 in
+  for _ = 1 to 8 do
+    ignore
+      (Linux.spawn linux ~name:"t"
+         (Coro.Compute (Time.us 500, fun () -> incr finished; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 50) engine;
+  check Alcotest.int "all finish" 8 !finished
+
+let test_linux_steal_balances () =
+  (* Pin nothing; all spawned while cpu0 busy: idle cores should pull. *)
+  let engine, _, linux = make ~cores:4 Linux.cfs_default in
+  let finished = ref 0 in
+  let last_done = ref 0 in
+  for _ = 1 to 8 do
+    ignore
+      (Linux.spawn linux ~name:"t"
+         (Coro.Compute
+            (Time.ms 1, fun () -> incr finished; last_done := Engine.now engine; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 50) engine;
+  check Alcotest.int "all ran" 8 !finished;
+  (* 8 x 1ms over 4 cores: should complete in well under 8ms *)
+  check Alcotest.bool "parallelised" true (!last_done < Time.ms 4)
+
+let test_linux_affinity_respected () =
+  let engine, _, linux = make ~cores:2 Linux.cfs_default in
+  let seen = ref (-1) in
+  let kt =
+    Linux.spawn linux ~name:"pinned" ~affinity:1
+      (Coro.Compute (Time.us 10, fun () -> Coro.Exit))
+  in
+  ignore (Engine.at engine (Time.us 1) (fun () -> seen := kt.Kthread.last_core));
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.int "ran on core 1" 1 !seen
+
+let test_linux_yield_requeues () =
+  let engine, _, linux = make ~cores:1 Linux.cfs_default in
+  let order = ref [] in
+  ignore
+    (Linux.spawn linux ~name:"a"
+       (Coro.Compute
+          ( Time.us 10,
+            fun () ->
+              order := "a1" :: !order;
+              Coro.Yield
+                (fun () ->
+                  order := "a2" :: !order;
+                  Coro.Exit) )));
+  ignore
+    (Linux.spawn linux ~name:"b"
+       (Coro.Compute (Time.us 10, fun () -> order := "b" :: !order; Coro.Exit)));
+  Engine.run ~until:(Time.ms 10) engine;
+  check Alcotest.bool "b ran between a's yield" true (List.rev !order = [ "a1"; "b"; "a2" ])
+
+(* ---- kernel module / binding rule ---- *)
+
+let make_kmod () =
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  (engine, machine, Kmod.create machine)
+
+let test_kmod_park_and_activate () =
+  let _, _, kmod = make_kmod () in
+  let kt = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  check Alcotest.bool "parked inactive" false (Kmod.is_active kt);
+  ignore (Kmod.activate kmod kt);
+  check Alcotest.bool "active" true (Kmod.is_active kt);
+  check Alcotest.bool "registered as active on core" true
+    (match Kmod.active_on kmod ~core:0 with Some k -> k == kt | None -> false)
+
+let test_kmod_binding_rule_on_activate () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  let b = Kmod.park_on_cpu kmod ~app:2 ~core:0 in
+  ignore (Kmod.activate kmod a);
+  check Alcotest.bool "second activation violates the rule" true
+    (try
+       ignore (Kmod.activate kmod b);
+       false
+     with Kmod.Binding_rule_violation _ -> true)
+
+let test_kmod_switch_to () =
+  let _, machine, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:2 in
+  let b = Kmod.park_on_cpu kmod ~app:2 ~core:2 in
+  ignore (Kmod.activate kmod a);
+  let cost = Kmod.switch_to kmod ~from:a ~target:b in
+  check Alcotest.int "app switch cost is the paper's 1905ns" Costs.app_switch_ns cost;
+  check Alcotest.bool "a parked" false (Kmod.is_active a);
+  check Alcotest.bool "b active" true (Kmod.is_active b);
+  (* the UINTR context followed the switch *)
+  check Alcotest.bool "b's context installed" true
+    (match Machine.uintr_installed machine ~core:2 with
+    | Some ctx -> ctx == Kmod.uintr_ctx b
+    | None -> false)
+
+let test_kmod_switch_cross_core_rejected () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  let b = Kmod.park_on_cpu kmod ~app:2 ~core:1 in
+  ignore (Kmod.activate kmod a);
+  check Alcotest.bool "cross-core switch rejected" true
+    (try
+       ignore (Kmod.switch_to kmod ~from:a ~target:b);
+       false
+     with Kmod.Binding_rule_violation _ -> true)
+
+let test_kmod_switch_from_inactive_rejected () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  let b = Kmod.park_on_cpu kmod ~app:2 ~core:0 in
+  check Alcotest.bool "from must be active" true
+    (try
+       ignore (Kmod.switch_to kmod ~from:a ~target:b);
+       false
+     with Kmod.Binding_rule_violation _ -> true)
+
+let test_kmod_terminate_last_rule () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  let b = Kmod.park_on_cpu kmod ~app:2 ~core:0 in
+  ignore (Kmod.activate kmod a);
+  (* a is active while b is parked: terminating a would strand b *)
+  check Alcotest.bool "terminate active with parked peers rejected" true
+    (try
+       Kmod.terminate kmod a;
+       false
+     with Kmod.Binding_rule_violation _ -> true);
+  (* park-switch to b, then a (parked) can terminate *)
+  ignore (Kmod.switch_to kmod ~from:a ~target:b);
+  Kmod.terminate kmod a;
+  (* b is now the last one on the core: may terminate even while active *)
+  Kmod.terminate kmod b;
+  check (Alcotest.option Alcotest.unit) "core empty" None
+    (Option.map ignore (Kmod.active_on kmod ~core:0))
+
+let test_kmod_timer_enable_sets_sn () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  Kmod.timer_enable kmod a;
+  check Alcotest.bool "SN set" true (Machine.uintr_sn (Kmod.uintr_ctx a))
+
+let suite =
+  [
+    Alcotest.test_case "linux: run to completion" `Quick test_linux_runs_to_completion;
+    Alcotest.test_case "linux: parallel threads" `Quick test_linux_parallel_threads;
+    Alcotest.test_case "linux: block/wakeup" `Quick test_linux_block_wakeup;
+    Alcotest.test_case "linux: pending wake" `Quick test_linux_pending_wake_not_lost;
+    Alcotest.test_case "linux: wakeup latency low load" `Quick
+      test_linux_wakeup_latency_low_load;
+    Alcotest.test_case "linux: RR slicing" `Quick test_linux_rr_slicing;
+    Alcotest.test_case "linux: no preemption with huge slice" `Quick
+      test_linux_fifo_like_without_preemption;
+    Alcotest.test_case "linux: CFS fairness" `Quick test_linux_cfs_fairness;
+    Alcotest.test_case "linux: EEVDF runs" `Quick test_linux_eevdf_runs;
+    Alcotest.test_case "linux: idle stealing" `Quick test_linux_steal_balances;
+    Alcotest.test_case "linux: affinity" `Quick test_linux_affinity_respected;
+    Alcotest.test_case "linux: yield requeues" `Quick test_linux_yield_requeues;
+    Alcotest.test_case "kmod: park/activate" `Quick test_kmod_park_and_activate;
+    Alcotest.test_case "kmod: binding rule on activate" `Quick
+      test_kmod_binding_rule_on_activate;
+    Alcotest.test_case "kmod: switch_to" `Quick test_kmod_switch_to;
+    Alcotest.test_case "kmod: cross-core switch rejected" `Quick
+      test_kmod_switch_cross_core_rejected;
+    Alcotest.test_case "kmod: switch from inactive rejected" `Quick
+      test_kmod_switch_from_inactive_rejected;
+    Alcotest.test_case "kmod: terminate rules" `Quick test_kmod_terminate_last_rule;
+    Alcotest.test_case "kmod: timer enable" `Quick test_kmod_timer_enable_sets_sn;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "skyloft"
+    [
+      ("sim", Test_sim.suite);
+      ("stats", Test_stats.suite);
+      ("hw", Test_hw.suite);
+      ("kernel", Test_kernel.suite);
+      ("core", Test_core.suite);
+      ("net", Test_net.suite);
+      ("policies", Test_policies.suite);
+      ("apps", Test_apps.suite);
+      ("baselines", Test_baselines.suite);
+      ("extensions", Test_extensions.suite);
+      ("sync", Test_sync.suite);
+      ("properties", Test_properties.suite);
+      ("trace", Test_trace.suite);
+      ("experiments", Test_experiments.suite);
+      ("integration", Test_integration.suite);
+      ("uthread", Test_uthread.suite);
+    ]

@@ -1,0 +1,164 @@
+(* Property-based invariants of the scheduling runtimes: for random
+   workloads under every policy, work is conserved, everything completes,
+   CPU accounting is bounded, latency is at least the service time, and
+   execution is deterministic in the seed. *)
+
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Coro = Skyloft_sim.Coro
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Summary = Skyloft_stats.Summary
+module Percpu = Skyloft.Percpu
+module Centralized = Skyloft.Centralized
+module App = Skyloft.App
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* A workload is a list of (spawn time, service time). *)
+let workload_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 60)
+      (pair (int_range 0 500_000) (int_range 100 100_000)))
+
+type outcome = {
+  completed : int;
+  busy_ns : int;
+  end_time : int;
+  p50 : int;
+  p100 : int;
+  preemptions : int;
+}
+
+let policies =
+  [
+    ("fifo", fun () -> Skyloft_policies.Fifo.create ());
+    ("rr", fun () -> Skyloft_policies.Rr.create ~slice:(Time.us 20) ());
+    ("cfs", fun () -> Skyloft_policies.Cfs.create ());
+    ("eevdf", fun () -> Skyloft_policies.Eevdf.create ());
+    ("ws", fun () -> Skyloft_policies.Work_stealing.create ());
+    ("ws-preempt", fun () -> Skyloft_policies.Work_stealing.create ~quantum:(Time.us 10) ());
+  ]
+
+let run_percpu ctor workload =
+  let engine = Engine.create ~seed:1 () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  let rt = Percpu.create machine kmod ~cores:[ 0; 1; 2 ] ~timer_hz:100_000 (ctor ()) in
+  let app = Percpu.create_app rt ~name:"w" in
+  List.iteri
+    (fun i (at, service) ->
+      ignore
+        (Engine.at engine at (fun () ->
+             ignore
+               (Percpu.spawn rt app
+                  ~name:(Printf.sprintf "t%d" i)
+                  ~service (Coro.compute_then_exit service)))))
+    workload;
+  (* generous drain: total work serialized + spawn horizon *)
+  let horizon =
+    500_000 + List.fold_left (fun acc (_, s) -> acc + s) 0 workload + Time.ms 50
+  in
+  Engine.run ~until:horizon engine;
+  {
+    completed = app.App.completed;
+    busy_ns = app.App.busy_ns;
+    end_time = horizon;
+    p50 = Summary.latency_p app.App.summary 50.0;
+    p100 = Summary.latency_p app.App.summary 100.0;
+    preemptions = Percpu.preemptions rt;
+  }
+
+let total_service workload = List.fold_left (fun acc (_, s) -> acc + s) 0 workload
+
+let prop_all_complete (name, ctor) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "percpu/%s: every task completes" name)
+    ~count:30 workload_gen
+    (fun workload ->
+      let o = run_percpu ctor workload in
+      o.completed = List.length workload)
+
+let prop_work_conserved (name, ctor) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "percpu/%s: busy time covers the work" name)
+    ~count:30 workload_gen
+    (fun workload ->
+      let o = run_percpu ctor workload in
+      (* busy time includes switch costs, so it is at least the pure work
+         and at most cores x horizon *)
+      o.busy_ns >= total_service workload && o.busy_ns <= 3 * o.end_time)
+
+let prop_latency_at_least_service (name, ctor) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "percpu/%s: latency >= service" name)
+    ~count:30 workload_gen
+    (fun workload ->
+      let o = run_percpu ctor workload in
+      (* the fastest request still had to do its own work (histogram
+         bucketing gives ~2% slack) *)
+      List.length workload = 0
+      || float_of_int o.p100
+         >= 0.95
+            *. float_of_int (List.fold_left (fun acc (_, s) -> min acc s) max_int workload))
+
+let prop_deterministic (name, ctor) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "percpu/%s: deterministic" name)
+    ~count:15 workload_gen
+    (fun workload ->
+      let a = run_percpu ctor workload and b = run_percpu ctor workload in
+      a = b)
+
+let prop_fifo_never_preempts =
+  QCheck.Test.make ~name:"percpu/fifo: zero preemptions" ~count:30 workload_gen
+    (fun workload ->
+      let o = run_percpu (fun () -> Skyloft_policies.Fifo.create ()) workload in
+      o.preemptions = 0)
+
+let run_centralized workload =
+  let engine = Engine.create ~seed:1 () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:8) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Centralized.create machine kmod ~dispatcher_core:0 ~worker_cores:[ 1; 2; 3 ]
+      ~quantum:(Time.us 20)
+      (Skyloft_policies.Shinjuku.create ())
+  in
+  let app = Centralized.create_app rt ~name:"lc" in
+  List.iteri
+    (fun i (at, service) ->
+      ignore
+        (Engine.at engine at (fun () ->
+             ignore
+               (Centralized.submit rt app
+                  ~name:(Printf.sprintf "t%d" i)
+                  ~service (Coro.compute_then_exit service)))))
+    workload;
+  let horizon = 500_000 + total_service workload + Time.ms 50 in
+  Engine.run ~until:horizon engine;
+  (app.App.completed, Centralized.queue_length rt)
+
+let prop_centralized_all_complete =
+  QCheck.Test.make ~name:"centralized: every request completes, queue drains"
+    ~count:30 workload_gen
+    (fun workload ->
+      let completed, queued = run_centralized workload in
+      completed = List.length workload && queued = 0)
+
+let suite =
+  List.concat_map
+    (fun policy ->
+      [
+        qtest (prop_all_complete policy);
+        qtest (prop_work_conserved policy);
+        qtest (prop_latency_at_least_service policy);
+      ])
+    policies
+  @ [
+      qtest (prop_deterministic (List.nth policies 1));
+      qtest (prop_deterministic (List.nth policies 5));
+      qtest prop_fifo_never_preempts;
+      qtest prop_centralized_all_complete;
+    ]

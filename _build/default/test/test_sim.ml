@@ -1,0 +1,365 @@
+(* Tests for the simulation substrate: Time, Rng, Dist, Eventq, Engine,
+   Coro. *)
+
+module Time = Skyloft_sim.Time
+module Rng = Skyloft_sim.Rng
+module Dist = Skyloft_sim.Dist
+module Eventq = Skyloft_sim.Eventq
+module Engine = Skyloft_sim.Engine
+module Coro = Skyloft_sim.Coro
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Time ---- *)
+
+let test_time_units () =
+  check Alcotest.int "us" 1_000 (Time.us 1);
+  check Alcotest.int "ms" 1_000_000 (Time.ms 1);
+  check Alcotest.int "s" 1_000_000_000 (Time.s 1);
+  check Alcotest.int "ns identity" 42 (Time.ns 42)
+
+let test_time_cycles () =
+  (* 2 GHz: 1000 cycles = 500 ns *)
+  check Alcotest.int "of_cycles" 500 (Time.of_cycles 1000);
+  check Alcotest.int "to_cycles" 1000 (Time.to_cycles 500);
+  check Alcotest.int "roundtrip" 1234 (Time.to_cycles (Time.of_cycles 1234))
+
+let test_time_float () =
+  check Alcotest.int "of_us_float" 12_500 (Time.of_us_float 12.5);
+  check (Alcotest.float 1e-9) "to_us_float" 12.5 (Time.to_us_float 12_500);
+  check (Alcotest.float 1e-9) "to_s_float" 1.5 (Time.to_s_float 1_500_000_000)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Time.pp t in
+  check Alcotest.string "ns" "999ns" (s 999);
+  check Alcotest.string "us" "1.50us" (s 1_500);
+  check Alcotest.string "ms" "2.00ms" (s (Time.ms 2));
+  check Alcotest.string "s" "3.00s" (s (Time.s 3))
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !differs
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy same future" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let child = Rng.split a in
+  (* children and parents should not produce identical streams *)
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.bits64 a = Rng.bits64 child then incr same
+  done;
+  check Alcotest.bool "split decorrelates" true (!same < 3)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_uniform_in_unit =
+  QCheck.Test.make ~name:"Rng.uniform in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = Rng.uniform rng in
+      v >= 0.0 && v < 1.0)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:100.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "empirical mean within 2%" true (abs_float (mean -. 100.0) < 2.0)
+
+let test_rng_int_bad_bound () =
+  let rng = Rng.create ~seed:0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+(* ---- Dist ---- *)
+
+let test_dist_constant () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10 do
+    check Alcotest.int "constant" 500 (Dist.sample (Dist.Constant 500) rng)
+  done
+
+let test_dist_bimodal_fractions () =
+  let rng = Rng.create ~seed:5 in
+  let d = Dist.Bimodal { p_short = 0.9; short = 10; long = 1_000 } in
+  let shorts = ref 0 and n = 50_000 in
+  for _ = 1 to n do
+    if Dist.sample d rng = 10 then incr shorts
+  done;
+  let frac = float_of_int !shorts /. float_of_int n in
+  check Alcotest.bool "~90% short" true (abs_float (frac -. 0.9) < 0.01)
+
+let test_dist_means () =
+  check (Alcotest.float 1e-6) "constant mean" 500.0 (Dist.mean (Dist.Constant 500));
+  check (Alcotest.float 1e-6) "bimodal mean" 109.0
+    (Dist.mean (Dist.Bimodal { p_short = 0.9; short = 10; long = 1_000 }));
+  check (Alcotest.float 1e-6) "uniform mean" 150.0
+    (Dist.mean (Dist.Uniform { lo = 100; hi = 200 }))
+
+let test_dist_paper_workloads () =
+  (* dispersive: 99.5% x 4us + 0.5% x 10ms = 53.98 us *)
+  let m = Dist.mean Dist.dispersive /. 1_000.0 in
+  check Alcotest.bool "dispersive mean ~54us" true (abs_float (m -. 53.98) < 0.1);
+  (* rocksdb: (0.95 + 591)/2 us *)
+  let m = Dist.mean Dist.rocksdb_bimodal /. 1_000.0 in
+  check Alcotest.bool "rocksdb mean ~296us" true (abs_float (m -. 295.975) < 0.1)
+
+let prop_sample_positive =
+  QCheck.Test.make ~name:"Dist.sample always >= 1" ~count:300
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, mean) ->
+      let rng = Rng.create ~seed in
+      let d = Dist.Exponential { mean } in
+      Dist.sample d rng >= 1)
+
+let test_dist_empirical_exponential () =
+  let rng = Rng.create ~seed:21 in
+  let d = Dist.Exponential { mean = 10_000 } in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Dist.sample d rng
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check Alcotest.bool "exp empirical mean" true (abs_float (mean -. 10_000.) < 200.)
+
+(* ---- Eventq ---- *)
+
+let test_eventq_ordering () =
+  let q = Eventq.create () in
+  ignore (Eventq.schedule q ~at:30 "c");
+  ignore (Eventq.schedule q ~at:10 "a");
+  ignore (Eventq.schedule q ~at:20 "b");
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "a" (Some (10, "a"))
+    (Eventq.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "b" (Some (20, "b"))
+    (Eventq.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "c" (Some (30, "c"))
+    (Eventq.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "empty" None
+    (Eventq.pop q)
+
+let test_eventq_tie_fifo () =
+  let q = Eventq.create () in
+  ignore (Eventq.schedule q ~at:5 "first");
+  ignore (Eventq.schedule q ~at:5 "second");
+  ignore (Eventq.schedule q ~at:5 "third");
+  let pop () = match Eventq.pop q with Some (_, s) -> s | None -> "?" in
+  check Alcotest.string "fifo 1" "first" (pop ());
+  check Alcotest.string "fifo 2" "second" (pop ());
+  check Alcotest.string "fifo 3" "third" (pop ())
+
+let test_eventq_cancel () =
+  let q = Eventq.create () in
+  let h = Eventq.schedule q ~at:1 "dead" in
+  ignore (Eventq.schedule q ~at:2 "alive");
+  Eventq.cancel h;
+  check Alcotest.bool "cancelled" true (Eventq.is_cancelled h);
+  check Alcotest.int "size skips cancelled" 1 (Eventq.size q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "skips dead"
+    (Some (2, "alive")) (Eventq.pop q)
+
+let test_eventq_peek () =
+  let q = Eventq.create () in
+  check (Alcotest.option Alcotest.int) "empty peek" None (Eventq.peek_time q);
+  let h = Eventq.schedule q ~at:7 () in
+  ignore (Eventq.schedule q ~at:9 ());
+  check (Alcotest.option Alcotest.int) "peek min" (Some 7) (Eventq.peek_time q);
+  Eventq.cancel h;
+  check (Alcotest.option Alcotest.int) "peek skips cancelled" (Some 9) (Eventq.peek_time q)
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~name:"Eventq pops in nondecreasing time order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 100_000))
+    (fun times ->
+      let q = Eventq.create () in
+      List.iter (fun at -> ignore (Eventq.schedule q ~at ())) times;
+      let rec drain last =
+        match Eventq.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain 0)
+
+let test_eventq_negative_time () =
+  let q = Eventq.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Eventq.schedule: negative time")
+    (fun () -> ignore (Eventq.schedule q ~at:(-1) ()))
+
+(* ---- Engine ---- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.at e 30 (fun () -> log := (30, Engine.now e) :: !log));
+  ignore (Engine.at e 10 (fun () -> log := (10, Engine.now e) :: !log));
+  ignore (Engine.after e 20 (fun () -> log := (20, Engine.now e) :: !log));
+  Engine.run e;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "events fire in order at the right clock"
+    [ (10, 10); (20, 20); (30, 30) ]
+    (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.at e 100 (fun () -> incr fired));
+  ignore (Engine.at e 200 (fun () -> incr fired));
+  Engine.run ~until:150 e;
+  check Alcotest.int "only first fired" 1 !fired;
+  check Alcotest.int "clock at limit" 150 (Engine.now e);
+  Engine.run e;
+  check Alcotest.int "second fires on resume" 2 !fired
+
+let test_engine_until_empty_queue () =
+  let e = Engine.create () in
+  Engine.run ~until:5_000 e;
+  check Alcotest.int "clock advances to until" 5_000 (Engine.now e)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e ~period:10 (fun () ->
+      incr count;
+      !count < 5);
+  Engine.run e;
+  check Alcotest.int "five firings" 5 !count;
+  check Alcotest.int "stops at 50" 50 (Engine.now e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.at e 10 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  check Alcotest.bool "cancelled never fires" false !fired
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.at e 100 (fun () -> ()));
+  Engine.run e;
+  check Alcotest.bool "raises on past schedule" true
+    (try
+       ignore (Engine.at e 50 ignore);
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.at e 10 (fun () ->
+         ignore (Engine.after e 5 (fun () -> log := "inner" :: !log));
+         log := "outer" :: !log));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check Alcotest.int "clock" 15 (Engine.now e)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let rec chain () = ignore (Engine.after e 1 chain) in
+  chain ();
+  Engine.run ~max_events:100 e;
+  check Alcotest.int "bounded" 100 (Engine.events_fired e)
+
+let test_engine_split_rng_deterministic () =
+  let mk () =
+    let e = Engine.create ~seed:9 () in
+    let r = Engine.split_rng e in
+    Rng.bits64 r
+  in
+  check Alcotest.int64 "same seed, same split" (mk ()) (mk ())
+
+(* ---- Coro ---- *)
+
+let test_coro_repeat () =
+  let built = Coro.repeat 3 (fun i tail -> Coro.Compute (i + 1, fun () -> tail)) Coro.Exit in
+  (* Walk the chain: should be Compute 1 -> Compute 2 -> Compute 3 -> Exit *)
+  let rec walk acc = function
+    | Coro.Compute (d, k) -> walk (d :: acc) (k ())
+    | Coro.Exit -> List.rev acc
+    | Coro.Block _ | Coro.Yield _ -> Alcotest.fail "unexpected"
+  in
+  check (Alcotest.list Alcotest.int) "chain" [ 1; 2; 3 ] (walk [] built)
+
+let test_coro_forever_compute_block () =
+  let rec walk n body =
+    if n = 0 then true
+    else
+      match body with
+      | Coro.Compute (d, k) -> d = 77 && walk n (k ())
+      | Coro.Block k -> walk (n - 1) (k ())
+      | Coro.Yield _ | Coro.Exit -> false
+  in
+  check Alcotest.bool "compute/block alternation" true
+    (walk 5 (Coro.forever_compute_block 77))
+
+let suite =
+  [
+    Alcotest.test_case "time: units" `Quick test_time_units;
+    Alcotest.test_case "time: cycles" `Quick test_time_cycles;
+    Alcotest.test_case "time: float conversions" `Quick test_time_float;
+    Alcotest.test_case "time: pp" `Quick test_time_pp;
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seeds diverge" `Quick test_rng_seed_matters;
+    Alcotest.test_case "rng: copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng: split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: exponential mean" `Slow test_rng_exponential_mean;
+    Alcotest.test_case "rng: bad bound" `Quick test_rng_int_bad_bound;
+    qtest prop_int_in_range;
+    qtest prop_uniform_in_unit;
+    Alcotest.test_case "dist: constant" `Quick test_dist_constant;
+    Alcotest.test_case "dist: bimodal fractions" `Slow test_dist_bimodal_fractions;
+    Alcotest.test_case "dist: exact means" `Quick test_dist_means;
+    Alcotest.test_case "dist: paper workloads" `Quick test_dist_paper_workloads;
+    Alcotest.test_case "dist: empirical exponential" `Slow test_dist_empirical_exponential;
+    qtest prop_sample_positive;
+    Alcotest.test_case "eventq: ordering" `Quick test_eventq_ordering;
+    Alcotest.test_case "eventq: FIFO ties" `Quick test_eventq_tie_fifo;
+    Alcotest.test_case "eventq: cancel" `Quick test_eventq_cancel;
+    Alcotest.test_case "eventq: peek" `Quick test_eventq_peek;
+    Alcotest.test_case "eventq: negative time" `Quick test_eventq_negative_time;
+    qtest prop_eventq_sorted;
+    Alcotest.test_case "engine: ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine: until" `Quick test_engine_until;
+    Alcotest.test_case "engine: until empty" `Quick test_engine_until_empty_queue;
+    Alcotest.test_case "engine: every" `Quick test_engine_every;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: past raises" `Quick test_engine_past_raises;
+    Alcotest.test_case "engine: nested" `Quick test_engine_nested_schedule;
+    Alcotest.test_case "engine: max events" `Quick test_engine_max_events;
+    Alcotest.test_case "engine: rng determinism" `Quick test_engine_split_rng_deterministic;
+    Alcotest.test_case "coro: repeat" `Quick test_coro_repeat;
+    Alcotest.test_case "coro: forever" `Quick test_coro_forever_compute_block;
+  ]
