@@ -151,6 +151,117 @@ let print_sim_bench () =
       [ "engine schedule+fire"; Printf.sprintf "%.0f" (estimate results "sim/engine-1k" /. 1000.) ];
     ]
 
+(* ---- allocator decision path -------------------------------------------- *)
+
+(* Cost of one Allocator.tick — sample + policy + arbitration + apply — on a
+   20-core pool with one LC and one BE binding.  The synthetic sample
+   alternates congested/idle phases so every tick walks the full decision
+   path and a fair share of ticks actually move cores. *)
+module Allocator = Skyloft_alloc.Allocator
+module Alloc_policy = Skyloft_alloc.Policy
+module Time' = Skyloft_sim.Time
+
+let alloc_ticks_per_run = 1000
+
+let bench_alloc_ticks make_policy () =
+  let engine = Skyloft_sim.Engine.create () in
+  let t =
+    Allocator.create ~engine ~policy:(make_policy ())
+      ~interval:(Time'.us 5) ~total_cores:20 ()
+  in
+  let phase = ref 0 in
+  Allocator.register t ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
+    ~bounds:{ Allocator.guaranteed = 0; burstable = 20 }
+    ~initial:10
+    ~sample:(fun () ->
+      incr phase;
+      let congested = !phase land 8 <> 0 in
+      {
+        Allocator.runq_len = (if congested then 4 else 0);
+        oldest_delay = (if congested then Time'.us 20 else 0);
+        busy_ns = !phase * Time'.us (if congested then 48 else 5);
+      })
+    ~apply:(fun ~granted:_ ~delta:_ -> 0);
+  Allocator.register t ~app:1 ~name:"be" ~kind:Alloc_policy.Be
+    ~bounds:{ Allocator.guaranteed = 0; burstable = 20 }
+    ~initial:10
+    ~sample:(fun () ->
+      { Allocator.runq_len = 100; oldest_delay = 0; busy_ns = !phase * Time'.us 45 })
+    ~apply:(fun ~granted:_ ~delta -> Skyloft_hw.Costs.app_switch_ns * abs delta);
+  for _ = 1 to alloc_ticks_per_run do
+    Allocator.tick t
+  done
+
+let alloc_tests =
+  Test.make_grouped ~name:"alloc"
+    (List.map
+       (fun (name, make_policy) ->
+         Test.make ~name (Staged.stage (bench_alloc_ticks make_policy)))
+       E.Colocate_alloc.policies)
+
+let print_alloc_bench () =
+  E.Report.section
+    "Core allocator decision path (Bechamel; one tick, 2 apps, 20 cores)";
+  let results = run_bench alloc_tests in
+  E.Report.table
+    ~header:[ "policy"; "ns per tick (this host)" ]
+    (List.map
+       (fun (name, _) ->
+         [
+           name;
+           Printf.sprintf "%.0f"
+             (estimate results (Printf.sprintf "alloc/%s" name)
+             /. float_of_int alloc_ticks_per_run);
+         ])
+       E.Colocate_alloc.policies);
+  E.Report.note "the controller runs every 5us of simulated time; its real cost";
+  E.Report.note "per tick bounds how many apps/cores one iokernel-style core scales to"
+
+(* The perf-trajectory artifact: LC p99 and BE CPU share per policy at 0.5x
+   and 0.8x load, as JSON, so future changes can be compared mechanically. *)
+let bench_alloc_json_path = "BENCH_alloc.json"
+
+let write_bench_alloc_json config =
+  let loads = [ 0.5; 0.8 ] in
+  let per_policy =
+    List.map
+      (fun ((name, _) as policy) ->
+        ( name,
+          List.map
+            (fun load_frac ->
+              (load_frac, E.Colocate_alloc.run_point config ~policy ~load_frac))
+            loads ))
+      E.Colocate_alloc.policies
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"duration_ms\": %.3f,\n  \"seed\": %d,\n"
+       (float_of_int config.E.Config.duration /. 1e6)
+       config.E.Config.seed);
+  Buffer.add_string buf "  \"policies\": {\n";
+  List.iteri
+    (fun i (name, pts) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" name);
+      List.iteri
+        (fun j (load_frac, (p : E.Colocate_alloc.point)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      \"%.1f\": { \"lc_p99_us\": %.2f, \"be_share\": %.4f }%s\n"
+               load_frac p.E.Colocate_alloc.p99_us p.E.Colocate_alloc.be_share
+               (if j = List.length pts - 1 then "" else ",")))
+        pts;
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n"
+           (if i = List.length per_policy - 1 then "" else ",")))
+    per_policy;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out bench_alloc_json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  E.Report.note "machine-readable per-policy results written to %s"
+    bench_alloc_json_path
+
 (* ---- main --------------------------------------------------------------- *)
 
 let () =
@@ -168,6 +279,7 @@ let () =
   (* Microbenchmarks (real code measured on this host). *)
   print_table7_measured ();
   print_sim_bench ();
+  print_alloc_bench ();
 
   (* Tables. *)
   ignore (E.Tables.print_table4 ());
@@ -184,6 +296,10 @@ let () =
   ignore (E.Fig7.print_c config b);
   ignore (E.Fig8.print_a config);
   ignore (E.Fig8.print_b config);
+
+  (* Core-allocation policy comparison (lib/alloc) + perf-trajectory JSON. *)
+  ignore (E.Colocate_alloc.print config);
+  write_bench_alloc_json config;
 
   (* Ablations of the design choices (DESIGN.md §5). *)
   E.Ablations.print config;

@@ -53,6 +53,9 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
       fun c ->
         let b = E.Fig7.print_b c in
         ignore (E.Fig7.print_c c b) );
+    ( "colocate-alloc",
+      "core-allocation policy comparison (Static/Utilization/Delay)",
+      fun c -> ignore (E.Colocate_alloc.print c) );
     ("fig8a", "Memcached under the USR workload",
      fun c -> ignore (E.Fig8.print_a c));
     ("fig8b", "RocksDB under the bimodal workload",

@@ -1,0 +1,231 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Timeseries = Skyloft_stats.Timeseries
+
+type bounds = { guaranteed : int; burstable : int }
+type raw = { runq_len : int; oldest_delay : Time.t; busy_ns : int }
+type action = Granted | Reclaimed | Yielded
+
+type event = {
+  at : Time.t;
+  app : int;
+  app_name : string;
+  action : action;
+  delta : int;
+  granted : int;
+}
+
+type config = {
+  policy : Policy.t;
+  interval : Time.t;
+  be_guaranteed : int;
+  be_burstable : int option;
+}
+
+let default_config () =
+  {
+    policy = Policy.static ();
+    interval = Time.us 5;
+    be_guaranteed = 0;
+    be_burstable = None;
+  }
+
+type binding = {
+  id : int;
+  app_name : string;
+  kind : Policy.kind;
+  bounds : bounds;
+  sample : unit -> raw;
+  apply : granted:int -> delta:int -> Time.t;
+  mutable granted : int;
+  mutable last_busy_ns : int;
+  series : Timeseries.t;
+}
+
+type t = {
+  engine : Engine.t;
+  policy : Policy.t;
+  interval : Time.t;
+  total_cores : int;
+  on_event : event -> unit;
+  mutable apps : binding list;  (* registration order *)
+  event_log : event Queue.t;
+  mutable grants : int;
+  mutable reclaims : int;
+  mutable yields : int;
+  mutable ticks : int;
+  mutable charged_ns : Time.t;
+  mutable running : bool;
+}
+
+let event_log_cap = 4096
+
+let create ~engine ~policy ~interval ~total_cores ?(on_event = ignore) () =
+  if interval <= 0 then invalid_arg "Allocator.create: interval must be positive";
+  if total_cores <= 0 then invalid_arg "Allocator.create: total_cores must be positive";
+  {
+    engine;
+    policy;
+    interval;
+    total_cores;
+    on_event;
+    apps = [];
+    event_log = Queue.create ();
+    grants = 0;
+    reclaims = 0;
+    yields = 0;
+    ticks = 0;
+    charged_ns = 0;
+    running = false;
+  }
+
+let sum_granted t = List.fold_left (fun acc b -> acc + b.granted) 0 t.apps
+let free_cores t = t.total_cores - sum_granted t
+
+let find t app =
+  match List.find_opt (fun b -> b.id = app) t.apps with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Allocator: unregistered app %d" app)
+
+let register t ~app ~name ~kind ~bounds ~initial ~sample ~apply =
+  if List.exists (fun b -> b.id = app) t.apps then
+    invalid_arg "Allocator.register: app already registered";
+  if bounds.guaranteed < 0 || bounds.guaranteed > bounds.burstable then
+    invalid_arg "Allocator.register: need 0 <= guaranteed <= burstable";
+  if bounds.burstable > t.total_cores then
+    invalid_arg "Allocator.register: burstable exceeds the core pool";
+  if initial < bounds.guaranteed || initial > bounds.burstable then
+    invalid_arg "Allocator.register: initial grant outside bounds";
+  if initial > free_cores t then
+    invalid_arg "Allocator.register: initial grants exceed the core pool";
+  let b =
+    {
+      id = app;
+      app_name = name;
+      kind;
+      bounds;
+      sample;
+      apply;
+      granted = initial;
+      last_busy_ns = (sample ()).busy_ns;
+      series = Timeseries.create ();
+    }
+  in
+  Timeseries.record b.series ~at:(Engine.now t.engine) initial;
+  t.apps <- t.apps @ [ b ]
+
+(* Apply one accepted transition: adjust the grant, inform the runtime,
+   charge its switch cost, and log the event. *)
+let transition t b ~action ~delta =
+  if delta = 0 then ()
+  else begin
+    b.granted <- b.granted + delta;
+    t.charged_ns <- t.charged_ns + b.apply ~granted:b.granted ~delta;
+    (match action with
+    | Granted -> t.grants <- t.grants + 1
+    | Reclaimed -> t.reclaims <- t.reclaims + 1
+    | Yielded -> t.yields <- t.yields + 1);
+    let ev =
+      {
+        at = Engine.now t.engine;
+        app = b.id;
+        app_name = b.app_name;
+        action;
+        delta = abs delta;
+        granted = b.granted;
+      }
+    in
+    Timeseries.record b.series ~at:ev.at b.granted;
+    if Queue.length t.event_log >= event_log_cap then ignore (Queue.pop t.event_log);
+    Queue.push ev t.event_log;
+    t.on_event ev
+  end
+
+let signal_of t b (r : raw) =
+  let busy = max 0 (r.busy_ns - b.last_busy_ns) in
+  b.last_busy_ns <- r.busy_ns;
+  {
+    Policy.kind = b.kind;
+    cores = b.granted;
+    runq_len = r.runq_len;
+    oldest_delay = r.oldest_delay;
+    utilization =
+      float_of_int busy /. float_of_int (t.interval * max 1 b.granted);
+  }
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  let decisions =
+    List.map
+      (fun b -> (b, Policy.observe t.policy ~app:b.id (signal_of t b (b.sample ()))))
+      t.apps
+  in
+  let free = ref (free_cores t) in
+  (* 1. voluntary yields refill the pool (never below the guaranteed floor) *)
+  List.iter
+    (fun (b, d) ->
+      match d with
+      | Policy.Yield n ->
+          let n = min n (b.granted - b.bounds.guaranteed) in
+          if n > 0 then begin
+            transition t b ~action:Yielded ~delta:(-n);
+            free := !free + n
+          end
+      | Policy.Grant _ | Policy.Hold -> ())
+    decisions;
+  (* 2. LC grants: free pool first, then steal from BE above guaranteed *)
+  List.iter
+    (fun (b, d) ->
+      match (b.kind, d) with
+      | Policy.Lc, Policy.Grant n ->
+          let want = ref (min n (b.bounds.burstable - b.granted)) in
+          let from_free = min !want !free in
+          if from_free > 0 then begin
+            free := !free - from_free;
+            want := !want - from_free;
+            transition t b ~action:Granted ~delta:from_free
+          end;
+          List.iter
+            (fun donor ->
+              if !want > 0 && donor.kind = Policy.Be then begin
+                let steal = min !want (donor.granted - donor.bounds.guaranteed) in
+                if steal > 0 then begin
+                  transition t donor ~action:Reclaimed ~delta:(-steal);
+                  transition t b ~action:Granted ~delta:steal;
+                  want := !want - steal
+                end
+              end)
+            t.apps
+      | _ -> ())
+    decisions;
+  (* 3. BE grants: whatever the pool still holds *)
+  List.iter
+    (fun (b, d) ->
+      match (b.kind, d) with
+      | Policy.Be, Policy.Grant n ->
+          let take = min (min n (b.bounds.burstable - b.granted)) !free in
+          if take > 0 then begin
+            free := !free - take;
+            transition t b ~action:Granted ~delta:take
+          end
+      | _ -> ())
+    decisions
+
+let start t =
+  if t.running then invalid_arg "Allocator.start: already running";
+  t.running <- true;
+  Engine.every t.engine ~period:t.interval (fun () ->
+      if t.running then tick t;
+      t.running)
+
+let stop t = t.running <- false
+let granted t ~app = (find t app).granted
+let series t ~app = (find t app).series
+let grants t = t.grants
+let reclaims t = t.reclaims
+let yields t = t.yields
+let ticks t = t.ticks
+let charged_ns t = t.charged_ns
+let events t = List.of_seq (Queue.to_seq t.event_log)
+let policy_name t = Policy.name t.policy
+let interval t = t.interval

@@ -1,0 +1,121 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Timeseries = Skyloft_stats.Timeseries
+
+(** The core allocator: a periodic controller (Shenango/Caladan's
+    "iokernel" role, run in simulated time) that multiplexes a fixed pool
+    of isolated cores between latency-critical and best-effort
+    applications.
+
+    Each tick it samples every registered application's congestion signals
+    (runqueue length, oldest-pending-task queueing delay, utilization),
+    asks the {!Policy} for a per-app decision, and arbitrates:
+
+    - yields return cores to the free pool (never below the app's
+      guaranteed floor);
+    - LC grants are served from the free pool first, then by {e stealing}
+      from BE apps above their guaranteed floor;
+    - BE grants are served from the free pool only.
+
+    The allocator itself never touches cores: every accepted transition
+    calls the owning runtime's [apply] callback, which enforces the new
+    grant through the kernel module (park / {!Skyloft_kernel.Kmod.activate}
+    / {!Skyloft_kernel.Kmod.switch_to}) and returns the virtual-time cost
+    it charged — the paper's §5.4 inter-application switch costs — which
+    the allocator accumulates for reporting.  Decisions are exported as a
+    per-app core-count {!Timeseries} and an event log. *)
+
+type bounds = { guaranteed : int; burstable : int }
+(** Per-app core bounds: [guaranteed] is never reclaimed (not even by an
+    LC steal); [burstable] caps growth. *)
+
+(** Raw congestion sample a runtime provides; the allocator derives the
+    policy-facing {!Policy.signal} (utilization from the busy-time delta
+    over the interval). *)
+type raw = {
+  runq_len : int;
+  oldest_delay : Time.t;
+  busy_ns : int;  (** cumulative, including the in-flight segment *)
+}
+
+type action = Granted | Reclaimed | Yielded
+
+type event = {
+  at : Time.t;
+  app : int;
+  app_name : string;
+  action : action;
+  delta : int;  (** cores moved (positive) *)
+  granted : int;  (** the app's grant after the transition *)
+}
+
+(** Runtime-facing configuration: which policy arbitrates BE core
+    ownership, at what cadence, and the BE application's bounds.  Both
+    runtimes accept one of these and translate it into {!register} calls. *)
+type config = {
+  policy : Policy.t;  (** congestion policy driving grant/reclaim decisions *)
+  interval : Time.t;  (** controller period (the paper uses 5 µs) *)
+  be_guaranteed : int;  (** cores the BE app never loses *)
+  be_burstable : int option;
+      (** cap on BE cores; [None] means every managed core *)
+}
+
+val default_config : unit -> config
+(** Static policy, 5 µs interval, bounds [0 .. all cores]. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  policy:Policy.t ->
+  interval:Time.t ->
+  total_cores:int ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  t
+
+val register :
+  t ->
+  app:int ->
+  name:string ->
+  kind:Policy.kind ->
+  bounds:bounds ->
+  initial:int ->
+  sample:(unit -> raw) ->
+  apply:(granted:int -> delta:int -> Time.t) ->
+  unit
+(** Register an application.  [initial] cores are granted immediately
+    (bounds-checked; the sum of initial grants may not exceed the pool).
+    [sample] is called once per tick; [apply] is called on every accepted
+    transition with the new grant and the signed core delta, and returns
+    the switch cost the runtime charged. *)
+
+val start : t -> unit
+(** Begin the periodic sampling loop (first tick one interval from now). *)
+
+val stop : t -> unit
+
+val tick : t -> unit
+(** Run one sampling/arbitration round immediately (tests, benchmarks). *)
+
+val granted : t -> app:int -> int
+val series : t -> app:int -> Timeseries.t
+(** Core-count timeseries, one sample per change. *)
+
+val grants : t -> int
+val reclaims : t -> int
+(** Transitions applied so far; [reclaims] counts forced steals, voluntary
+    yields are separate. *)
+
+val yields : t -> int
+val ticks : t -> int
+
+val charged_ns : t -> Time.t
+(** Total switch cost charged by the runtime for allocator transitions. *)
+
+val events : t -> event list
+(** Chronological log of the most recent transitions (bounded). *)
+
+val policy_name : t -> string
+val interval : t -> Time.t
+val free_cores : t -> int

@@ -1,0 +1,171 @@
+module Time = Skyloft_sim.Time
+
+type kind = Lc | Be
+
+type signal = {
+  kind : kind;
+  cores : int;
+  runq_len : int;
+  oldest_delay : Time.t;
+  utilization : float;
+}
+
+type decision = Grant of int | Yield of int | Hold
+
+module type POLICY = sig
+  type t
+
+  val name : string
+  val observe : t -> app:int -> signal -> decision
+end
+
+type t = P : (module POLICY with type t = 'a) * 'a -> t
+
+let pack (type a) (m : (module POLICY with type t = a)) (st : a) = P (m, st)
+let name (P ((module M), _)) = M.name
+let observe (P ((module M), st)) ~app s = M.observe st ~app s
+
+(* A BE app under the reactive policies: soak whatever the free pool holds
+   (the arbiter clamps to burstable and to what is actually free). *)
+let be_greedy (s : signal) =
+  if s.cores < max_int then Grant max_int else Hold
+
+(* ---- Static: the pre-allocator baseline split --------------------------- *)
+
+module Static_impl = struct
+  type t = unit
+
+  let name = "static"
+
+  let observe () ~app:_ s =
+    match s.kind with
+    | Lc ->
+        (* Claim a core per queued task; hand everything back the moment
+           the queue drains so BE regrows within one check interval. *)
+        if s.runq_len > 0 then Grant s.runq_len
+        else if s.cores > 0 then Yield s.cores
+        else Hold
+    | Be -> be_greedy s
+end
+
+let static () = pack (module Static_impl) ()
+
+(* ---- Utilization: watermarks + hysteresis ------------------------------- *)
+
+module Utilization_impl = struct
+  type app_state = { mutable above : int; mutable below : int }
+
+  type t = {
+    hi : float;
+    lo : float;
+    hysteresis : int;
+    apps : (int, app_state) Hashtbl.t;
+  }
+
+  let name = "utilization"
+
+  let state t app =
+    match Hashtbl.find_opt t.apps app with
+    | Some st -> st
+    | None ->
+        let st = { above = 0; below = 0 } in
+        Hashtbl.replace t.apps app st;
+        st
+
+  let observe t ~app s =
+    let st = state t app in
+    if s.utilization >= t.hi then begin
+      st.below <- 0;
+      st.above <- st.above + 1;
+      if st.above >= t.hysteresis then begin
+        st.above <- 0;
+        (* Enough cores to bring utilization back under the high watermark:
+           busy core-equivalents / hi, rounded up. *)
+        let busy_cores = s.utilization *. float_of_int (max 1 s.cores) in
+        let want = int_of_float (ceil (busy_cores /. t.hi)) in
+        Grant (max 1 (want - s.cores))
+      end
+      else Hold
+    end
+    else if s.utilization <= t.lo then begin
+      st.above <- 0;
+      st.below <- st.below + 1;
+      if st.below >= t.hysteresis && s.cores > 0 then begin
+        st.below <- 0;
+        (* Shed down to the high-watermark target in one step, so a calm
+           app does not ratchet its grant upward over time. *)
+        let busy_cores = s.utilization *. float_of_int (max 1 s.cores) in
+        let target = int_of_float (ceil (busy_cores /. t.hi)) in
+        Yield (max 1 (s.cores - target))
+      end
+      else Hold
+    end
+    else begin
+      st.above <- 0;
+      st.below <- 0;
+      Hold
+    end
+end
+
+let utilization ?(hi = 0.9) ?(lo = 0.2) ?(hysteresis = 2) () =
+  if not (lo < hi) then invalid_arg "Policy.utilization: need lo < hi";
+  if hysteresis < 1 then invalid_arg "Policy.utilization: hysteresis >= 1";
+  pack
+    (module Utilization_impl)
+    { Utilization_impl.hi; lo; hysteresis; apps = Hashtbl.create 8 }
+
+(* ---- Delay: Shenango's oldest-pending-task congestion signal ------------ *)
+
+module Delay_impl = struct
+  type app_state = { mutable calm : int }
+
+  type t = {
+    threshold : Time.t;
+    idle_ticks : int;
+    apps : (int, app_state) Hashtbl.t;
+  }
+
+  let name = "delay"
+
+  let state t app =
+    match Hashtbl.find_opt t.apps app with
+    | Some st -> st
+    | None ->
+        let st = { calm = 0 } in
+        Hashtbl.replace t.apps app st;
+        st
+
+  let observe t ~app s =
+    match s.kind with
+    | Be -> be_greedy s
+    | Lc ->
+        let st = state t app in
+        if s.oldest_delay > t.threshold then begin
+          st.calm <- 0;
+          Grant (max 1 s.runq_len)
+        end
+        else begin
+          (* Spare capacity in core-equivalents this interval; keep one
+             headroom core so a single arrival does not immediately queue
+             past the threshold again. *)
+          let busy_cores = s.utilization *. float_of_int (max 1 s.cores) in
+          let spare = float_of_int s.cores -. busy_cores in
+          if s.runq_len = 0 && s.cores > 0 && spare > 1.5 then begin
+            st.calm <- st.calm + 1;
+            if st.calm >= t.idle_ticks then begin
+              st.calm <- 0;
+              Yield (max 1 (int_of_float (spare -. 1.0)))
+            end
+            else Hold
+          end
+          else begin
+            st.calm <- 0;
+            Hold
+          end
+        end
+end
+
+let delay ?(threshold = Time.us 10) ?(idle_ticks = 2) () =
+  if threshold <= 0 then invalid_arg "Policy.delay: threshold must be positive";
+  if idle_ticks < 1 then invalid_arg "Policy.delay: idle_ticks >= 1";
+  pack (module Delay_impl) { Delay_impl.threshold; idle_ticks; apps = Hashtbl.create 8 }

@@ -1,0 +1,75 @@
+module Time = Skyloft_sim.Time
+
+(** Core-allocation policies: the decision half of the {!Allocator}.
+
+    A policy is a pure-ish controller observing one congestion {!signal}
+    per registered application per sampling interval and answering with a
+    {!decision} — ask for cores, give some back, or hold.  The allocator
+    arbitrates the decisions against the machine's core budget and each
+    application's guaranteed/burstable bounds; policies never see other
+    applications and never touch the kernel module, which is what keeps
+    them small (the same property the paper claims for scheduling policies
+    behind Table 2). *)
+
+type kind =
+  | Lc  (** latency-critical: may steal cores from BE apps above their
+            guaranteed floor *)
+  | Be  (** best-effort: granted only cores the LC side leaves free *)
+
+(** One application's congestion sample over the last interval. *)
+type signal = {
+  kind : kind;
+  cores : int;  (** cores currently granted to the application *)
+  runq_len : int;  (** tasks waiting in its runqueue *)
+  oldest_delay : Time.t;
+      (** queueing delay of the oldest pending task (Shenango's congestion
+          signal); 0 when the queue is empty *)
+  utilization : float;
+      (** busy time over the interval divided by [interval * max 1 cores];
+          may exceed 1.0 when the app ran on more cores than granted *)
+}
+
+type decision =
+  | Grant of int  (** request this many additional cores *)
+  | Yield of int  (** return this many cores to the free pool *)
+  | Hold
+
+(** The pluggable policy signature.  [observe] is called once per
+    application per allocator tick; [t] carries per-application hysteresis
+    state. *)
+module type POLICY = sig
+  type t
+
+  val name : string
+  val observe : t -> app:int -> signal -> decision
+end
+
+type t
+(** A packed policy instance.  Instances are stateful (hysteresis
+    counters): create a fresh one per runtime. *)
+
+val pack : (module POLICY with type t = 'a) -> 'a -> t
+(** Wrap a custom policy implementation. *)
+
+val name : t -> string
+val observe : t -> app:int -> signal -> decision
+
+val static : unit -> t
+(** The baseline split (the pre-allocator behaviour): an LC app claims
+    [runq_len] cores whenever work is queued and yields everything back
+    when the queue is empty; a BE app greedily asks for whatever the free
+    pool holds.  No hysteresis — all swings happen at the check interval. *)
+
+val utilization : ?hi:float -> ?lo:float -> ?hysteresis:int -> unit -> t
+(** Watermark controller: after [hysteresis] consecutive intervals (default
+    2) above [hi] (default 0.9) the app asks for enough cores to bring
+    utilization back under [hi]; after [hysteresis] intervals below [lo]
+    (default 0.2) it yields one.  The two counters reset each other, which
+    is what prevents grant/reclaim oscillation under a steady load. *)
+
+val delay : ?threshold:Time.t -> ?idle_ticks:int -> unit -> t
+(** Shenango's congestion signal: an LC app whose oldest pending task has
+    waited longer than [threshold] (default 10 µs) claims [runq_len] cores
+    immediately; after [idle_ticks] consecutive quiet intervals (default 2:
+    empty queue, utilization under 0.5) it yields one core back.  BE apps
+    greedily soak the free pool, exactly as under {!static}. *)

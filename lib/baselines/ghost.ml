@@ -17,6 +17,7 @@ module Centralized = Skyloft.Centralized
     maximum throughput (~0.8x) and ~3x higher low-load tail latency in
     Figure 7. *)
 
-let make machine kmod ~dispatcher_core ~worker_cores ~quantum ?be_reclaim policy =
+let make machine kmod ~dispatcher_core ~worker_cores ~quantum ?alloc ?immediate
+    policy =
   Centralized.create machine kmod ~dispatcher_core ~worker_cores ~quantum
-    ~mechanism:Centralized.ghost_mechanism ?be_reclaim policy
+    ~mechanism:Centralized.ghost_mechanism ?alloc ?immediate policy

@@ -12,6 +12,7 @@ val make :
   dispatcher_core:int ->
   worker_cores:int list ->
   quantum:Time.t ->
-  ?be_reclaim:Skyloft.Centralized.be_reclaim ->
+  ?alloc:Skyloft_alloc.Allocator.config ->
+  ?immediate:bool ->
   Skyloft.Sched_ops.ctor ->
   Skyloft.Centralized.t

@@ -19,5 +19,4 @@ module Centralized = Skyloft.Centralized
 
 let make machine kmod ~dispatcher_core ~worker_cores ~quantum policy =
   Centralized.create machine kmod ~dispatcher_core ~worker_cores ~quantum
-    ~mechanism:Centralized.shinjuku_mechanism ~be_reclaim:Centralized.Reclaim_immediate
-    policy
+    ~mechanism:Centralized.shinjuku_mechanism ~immediate:true policy

@@ -6,6 +6,8 @@ module Machine = Skyloft_hw.Machine
 module Costs = Skyloft_hw.Costs
 module Kmod = Skyloft_kernel.Kmod
 module Summary = Skyloft_stats.Summary
+module Alloc_policy = Skyloft_alloc.Policy
+module Allocator = Skyloft_alloc.Allocator
 
 type mechanism = {
   mech_name : string;
@@ -51,14 +53,13 @@ let ghost_mechanism =
     worker_switch = Costs.linux_ctx_switch_ns;
   }
 
-type be_reclaim = Reclaim_immediate | Reclaim_periodic of Time.t
-
 type worker = {
   core_id : int;
   mutable current : Task.t option;
   mutable completion : Eventq.handle option;
   mutable gen : int;  (* assignment generation, guards stale events *)
   mutable reserved : bool;  (* an assignment is in flight *)
+  mutable incoming : int;  (* app of the in-flight assignment; -1 if none *)
   mutable busy_from : Time.t;
   mutable active_app : int;
 }
@@ -71,15 +72,18 @@ type t = {
   workers : worker array;
   mech : mechanism;
   quantum : Time.t;
-  be_reclaim : be_reclaim;
+  alloc_cfg : Allocator.config;
+  immediate : bool;  (* preempt BE the instant an LC request cannot place *)
+  mutable allocator : Allocator.t option;
+  mutable be_allowance : int;  (* cores BE tasks may occupy right now *)
   mutable policy : Sched_ops.instance;
+  mutable probe : Sched_ops.probe;
   mutable disp_busy_until : Time.t;
   kthreads : (int * int, Kmod.kthread) Hashtbl.t;
   mutable apps : App.t list;
   daemon : App.t;
   mutable be_app : App.t option;
   be_queue : Runqueue.t;
-  lc_queued : int ref;  (* LC tasks waiting in the policy queue *)
   mutable preempts : int;
   mutable be_preempts : int;
   mutable dispatches : int;
@@ -92,6 +96,23 @@ let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = 
 
 let is_be t (task : Task.t) =
   match t.be_app with Some app -> task.app = app.App.id | None -> false
+
+(* Workers the BE application occupies right now, counting in-flight
+   assignments so the allowance cannot be oversubscribed while a dispatch
+   is pending. *)
+let be_occupancy t =
+  match t.be_app with
+  | None -> 0
+  | Some app ->
+      Array.fold_left
+        (fun acc w ->
+          let running =
+            match w.current with
+            | Some task -> task.Task.app = app.App.id
+            | None -> false
+          in
+          if running || w.incoming = app.App.id then acc + 1 else acc)
+        0 t.workers
 
 let account t w =
   (match w.current with
@@ -161,6 +182,7 @@ and on_complete t w (task : Task.t) =
 
 and start_on t w (task : Task.t) =
   w.reserved <- false;
+  w.incoming <- -1;
   t.dispatches <- t.dispatches + 1;
   let switch_cost =
     if task.Task.app = w.active_app then t.mech.worker_switch
@@ -200,16 +222,19 @@ and start_on t w (task : Task.t) =
 
 and assign t w (task : Task.t) =
   w.reserved <- true;
+  w.incoming <- task.Task.app;
   dispatcher_do t t.mech.dispatch_cost (fun () -> start_on t w task)
 
 and try_next t w =
   if not w.reserved && w.current = None then begin
     match t.policy.task_dequeue ~cpu:w.core_id with
     | Some task -> assign t w task
-    | None -> (
-        match Runqueue.pop_head t.be_queue with
-        | Some be -> assign t w be
-        | None -> ())
+    | None ->
+        (* BE work only on cores inside the allocator's current grant *)
+        if be_occupancy t < t.be_allowance then (
+          match Runqueue.pop_head t.be_queue with
+          | Some be -> assign t w be
+          | None -> ())
   end
 
 (* Preemption of the task currently on [w]; the caller already charged the
@@ -258,27 +283,50 @@ let preempt_be_worker t w =
       true
   | _ -> false
 
+(* ---- core allocation ----------------------------------------------------- *)
+
+let queue_length t = t.probe.Sched_ops.queued ()
+
+(* Change how many workers BE may occupy.  Shrinking preempts the excess
+   BE workers with user IPIs; the next LC dispatch on those cores goes
+   through [Kmod.switch_to], charging the §5.4 inter-application switch
+   cost.  Growing kicks idle workers so they pick up BE work (again paying
+   the switch cost at dispatch). *)
+let set_be_allowance t n =
+  let old = t.be_allowance in
+  t.be_allowance <- n;
+  if n < old then begin
+    let excess = ref (be_occupancy t - n) in
+    if !excess > 0 then
+      Array.iter
+        (fun w -> if !excess > 0 && preempt_be_worker t w then decr excess)
+        t.workers
+  end
+  else if n > old then Array.iter (fun w -> try_next t w) t.workers
+
+(* Busy nanoseconds including the in-flight segment of running workers, so
+   the allocator's utilization sample does not lag long-running tasks. *)
+let in_flight_busy t ~matches =
+  Array.fold_left
+    (fun acc w ->
+      match w.current with
+      | Some task when matches task.Task.app -> acc + max 0 (now t - w.busy_from)
+      | _ -> acc)
+    0 t.workers
+
+let lc_busy_ns t =
+  let be_id = match t.be_app with Some app -> app.App.id | None -> -1 in
+  let recorded =
+    List.fold_left
+      (fun acc (a : App.t) -> if a.App.id = be_id then acc else acc + a.App.busy_ns)
+      t.daemon.App.busy_ns t.apps
+  in
+  recorded + in_flight_busy t ~matches:(fun id -> id <> be_id)
+
+let be_busy_ns t (app : App.t) =
+  app.App.busy_ns + in_flight_busy t ~matches:(fun id -> id = app.App.id)
+
 (* ---- construction -------------------------------------------------------- *)
-
-(* Queue length is not part of the Table 2 interface, so the runtime counts
-   it by wrapping the policy's enqueue/dequeue. *)
-let count_queue counter (p : Sched_ops.instance) =
-  {
-    p with
-    Sched_ops.task_enqueue =
-      (fun ~cpu ~reason task ->
-        incr counter;
-        p.Sched_ops.task_enqueue ~cpu ~reason task);
-    task_dequeue =
-      (fun ~cpu ->
-        match p.Sched_ops.task_dequeue ~cpu with
-        | Some task ->
-            decr counter;
-            Some task
-        | None -> None);
-  }
-
-let queue_length t = !(t.lc_queued)
 
 let worker_view t =
   {
@@ -295,10 +343,11 @@ let register_kthread t app_id core =
   kt
 
 let create machine kmod ~dispatcher_core ~worker_cores ~quantum
-    ?(mechanism = skyloft_mechanism) ?(be_reclaim = Reclaim_periodic (Time.us 5)) ctor =
+    ?(mechanism = skyloft_mechanism) ?alloc ?(immediate = false) ctor =
   if worker_cores = [] then invalid_arg "Centralized.create: no worker cores";
   if List.mem dispatcher_core worker_cores then
     invalid_arg "Centralized.create: dispatcher core cannot also be a worker";
+  let alloc = match alloc with Some a -> a | None -> Allocator.default_config () in
   let workers =
     Array.of_list
       (List.map
@@ -309,6 +358,7 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
              completion = None;
              gen = 0;
              reserved = false;
+             incoming = -1;
              busy_from = 0;
              active_app = 0;
            })
@@ -323,41 +373,33 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
       workers;
       mech = mechanism;
       quantum;
-      be_reclaim;
+      alloc_cfg = alloc;
+      immediate;
+      allocator = None;
+      be_allowance = Array.length workers;
       policy = Sched_ops.null_instance;
+      probe = { Sched_ops.queued = (fun () -> 0); oldest_wait = (fun () -> 0) };
       disp_busy_until = 0;
       kthreads = Hashtbl.create 64;
       apps = [];
       daemon = App.daemon ();
       be_app = None;
       be_queue = Runqueue.create ();
-      lc_queued = ref 0;
       preempts = 0;
       be_preempts = 0;
       dispatches = 0;
     }
   in
-  t.policy <- count_queue t.lc_queued (ctor (worker_view t));
+  let policy, probe =
+    Sched_ops.instrument ~now:(fun () -> now t) (ctor (worker_view t))
+  in
+  t.policy <- policy;
+  t.probe <- probe;
   Array.iter
     (fun w ->
       let kt = register_kthread t 0 w.core_id in
       ignore (Kmod.activate kmod kt))
     workers;
-  (* Shenango-style periodic congestion check: while LC work is queued,
-     reclaim cores from the batch application. *)
-  (match be_reclaim with
-  | Reclaim_periodic period ->
-      Engine.every t.engine ~period (fun () ->
-          let want = queue_length t in
-          if want > 0 then begin
-            let reclaimed = ref 0 in
-            Array.iter
-              (fun w ->
-                if !reclaimed < want && preempt_be_worker t w then incr reclaimed)
-              t.workers
-          end;
-          true)
-  | Reclaim_immediate -> ());
   t
 
 let create_app t ~name =
@@ -382,7 +424,49 @@ let attach_be_app t app ~chunk ~workers =
     app.App.tasks_alive <- app.App.tasks_alive + 1;
     Runqueue.push_tail t.be_queue task
   done;
+  (* Core allocation: the allocator arbitrates LC vs BE core ownership from
+     here on.  BE starts at its burstable ceiling (all cores by default) and
+     the policy reclaims cores as LC congestion appears. *)
+  let total = Array.length t.workers in
+  let cfg = t.alloc_cfg in
+  let burst = min (Option.value cfg.Allocator.be_burstable ~default:total) total in
+  let guar = min (max 0 cfg.Allocator.be_guaranteed) burst in
+  t.be_allowance <- burst;
+  let alloc =
+    Allocator.create ~engine:t.engine ~policy:cfg.Allocator.policy
+      ~interval:cfg.Allocator.interval ~total_cores:total ()
+  in
+  Allocator.register alloc ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
+    ~bounds:{ Allocator.guaranteed = 0; burstable = total }
+    ~initial:(total - burst)
+    ~sample:(fun () ->
+      {
+        Allocator.runq_len = t.probe.Sched_ops.queued ();
+        oldest_delay = t.probe.Sched_ops.oldest_wait ();
+        busy_ns = lc_busy_ns t;
+      })
+    ~apply:(fun ~granted:_ ~delta:_ -> 0);
+  Allocator.register alloc ~app:app.App.id ~name:app.App.name
+    ~kind:Alloc_policy.Be
+    ~bounds:{ Allocator.guaranteed = guar; burstable = burst }
+    ~initial:burst
+    ~sample:(fun () ->
+      {
+        Allocator.runq_len = Runqueue.length t.be_queue;
+        oldest_delay = 0;
+        busy_ns = be_busy_ns t app;
+      })
+    ~apply:(fun ~granted ~delta ->
+      set_be_allowance t granted;
+      (* Moving a core between applications costs an inter-application
+         switch at the next dispatch on that core (§5.4); account it on
+         the BE side only so each move is charged once. *)
+      Costs.app_switch_ns * abs delta);
+  Allocator.start alloc;
+  t.allocator <- Some alloc;
   Array.iter (fun w -> try_next t w) t.workers
+
+let allocator t = t.allocator
 
 let pump t =
   let made_progress = ref true in
@@ -399,7 +483,7 @@ let pump t =
       | None -> ()
   done;
   (* No free worker: under immediate reclaim, kick BE work off a core. *)
-  if queue_length t > 0 && t.be_reclaim = Reclaim_immediate then begin
+  if queue_length t > 0 && t.immediate then begin
     let want = queue_length t in
     let reclaimed = ref 0 in
     Array.iter

@@ -42,14 +42,6 @@ val ghost_mechanism : mechanism
     thread switches — the §5.2 explanation of its lower throughput and
     higher low-load tail latency. *)
 
-(** When best-effort cores are reclaimed for latency-critical work. *)
-type be_reclaim =
-  | Reclaim_immediate  (** preempt a BE worker the moment an LC request
-                           cannot be placed *)
-  | Reclaim_periodic of Time.t
-      (** Shenango-style: a congestion check every interval preempts BE
-          workers while LC work is queued (the paper uses 5 µs) *)
-
 type t
 
 val create :
@@ -59,17 +51,29 @@ val create :
   worker_cores:int list ->
   quantum:Time.t ->
   ?mechanism:mechanism ->
-  ?be_reclaim:be_reclaim ->
+  ?alloc:Skyloft_alloc.Allocator.config ->
+  ?immediate:bool ->
   Sched_ops.ctor ->
   t
-(** [quantum <= 0] disables quantum preemption (run-to-completion). *)
+(** [quantum <= 0] disables quantum preemption (run-to-completion).
+
+    [alloc] configures the core allocator started by {!attach_be_app}
+    (default {!Skyloft_alloc.Allocator.default_config}: Static policy at a
+    5 µs interval).  [immediate] (default false) additionally preempts a BE
+    worker the moment an LC request cannot be placed, without waiting for
+    the next allocator tick. *)
 
 val create_app : t -> name:string -> App.t
 
 val attach_be_app : t -> App.t -> chunk:Time.t -> workers:int -> unit
 (** Give the BE application [workers] batch worker tasks, each an endless
-    sequence of [chunk]-sized compute segments.  They run only on cores the
-    LC load leaves idle. *)
+    sequence of [chunk]-sized compute segments, and start the core
+    allocator: from here on the configured {!alloc_config} policy decides
+    how many cores BE may occupy, charging the §5.4 inter-application
+    switch cost for every core moved. *)
+
+val allocator : t -> Skyloft_alloc.Allocator.t option
+(** The running core allocator, once {!attach_be_app} has started it. *)
 
 val submit :
   t -> App.t -> ?service:Time.t -> ?record:bool -> name:string -> Coro.t -> Task.t

@@ -9,6 +9,8 @@ module Kmod = Skyloft_kernel.Kmod
 module Histogram = Skyloft_stats.Histogram
 module Summary = Skyloft_stats.Summary
 module Trace = Skyloft_stats.Trace
+module Alloc_policy = Skyloft_alloc.Policy
+module Allocator = Skyloft_alloc.Allocator
 
 type cpu = {
   core_id : int;
@@ -32,6 +34,11 @@ type t = {
   mutable apps : App.t list;
   daemon : App.t;
   mutable policy : Sched_ops.instance;
+  mutable probe : Sched_ops.probe;
+  mutable be_app : App.t option;
+  be_queue : Runqueue.t;  (* BE work lives here, outside the LC policy *)
+  mutable be_allowance : int;  (* cores BE tasks may occupy right now *)
+  mutable allocator : Allocator.t option;
   timer_hz : int;
   preemption : bool;
   park : (Time.t * Time.t) option;  (* (idle_after, resume_cost) *)
@@ -39,6 +46,7 @@ type t = {
   mutable switches : int;
   mutable app_switches : int;
   mutable preempts : int;
+  mutable be_preempts : int;
   mutable ticks : int;
   mutable rr_spawn : int;  (* round-robin spawn placement cursor *)
   uvec_handlers : (int, int -> unit) Hashtbl.t;
@@ -64,6 +72,23 @@ let view t =
 (* ---- per-application CPU accounting ------------------------------------ *)
 
 let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = id) t.apps
+
+let is_be t (task : Task.t) =
+  match t.be_app with Some app -> task.Task.app = app.App.id | None -> false
+
+(* Cores the BE application occupies right now.  Per-CPU dispatch is
+   synchronous (schedule sets [current] immediately), so counting running
+   tasks is exact. *)
+let be_occupancy t =
+  match t.be_app with
+  | None -> 0
+  | Some app ->
+      Array.fold_left
+        (fun acc cpu ->
+          match cpu.current with
+          | Some task when task.Task.app = app.App.id -> acc + 1
+          | _ -> acc)
+        0 t.cpus
 
 let account t cpu =
   (match cpu.current with
@@ -97,7 +122,9 @@ let rec process t cpu (task : Task.t) =
       task.state <- Task.Runnable;
       account t cpu;
       cpu.current <- None;
-      t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_yielded task;
+      if is_be t task then Runqueue.push_tail t.be_queue task
+      else
+        t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_yielded task;
       schedule t cpu ~prev:(Some task)
   | Coro.Block k ->
       if task.pending_wake then begin
@@ -157,9 +184,20 @@ and dispatch t cpu (task : Task.t) ~switch_cost =
 
 and schedule t cpu ~prev =
   let next =
-    match t.policy.task_dequeue ~cpu:cpu.core_id with
+    (* Cores inside the allocator's current BE grant belong to BE — they
+       dispatch BE work ahead of LC so a guaranteed core cannot be starved
+       by LC backlog.  LC congestion claws cores back through the
+       allocator shrinking the allowance, not by out-queueing BE here. *)
+    let be_next =
+      if be_occupancy t < t.be_allowance then Runqueue.pop_head t.be_queue
+      else None
+    in
+    match be_next with
     | Some task -> Some task
-    | None -> t.policy.sched_balance ~cpu:cpu.core_id
+    | None -> (
+        match t.policy.task_dequeue ~cpu:cpu.core_id with
+        | Some task -> Some task
+        | None -> t.policy.sched_balance ~cpu:cpu.core_id)
   in
   match next with
   | None ->
@@ -216,7 +254,11 @@ let preempt_current t cpu =
       cpu.current <- None;
       t.preempts <- t.preempts + 1;
       trace_instant t ~core:cpu.core_id Trace.Preempt task.Task.name;
-      t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_preempted task;
+      if is_be t task then begin
+        t.be_preempts <- t.be_preempts + 1;
+        Runqueue.push_head t.be_queue task
+      end
+      else t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_preempted task;
       schedule t cpu ~prev:(Some task)
   | _ -> ()
 
@@ -247,20 +289,30 @@ let kick_some_idle t =
 
 (* ---- the global user-interrupt handler (Listing 1) ---------------------- *)
 
+(* Timer-tick scheduling decision.  BE tasks live outside the LC policy:
+   the tick preempts them when the allowance shrank below the cores BE
+   currently occupies.  LC congestion is not checked directly here — the
+   allocator reacts to it within one check interval by shrinking the
+   allowance (and never below the BE app's guaranteed cores), so the
+   allowance is the single arbiter of BE occupancy. *)
+let tick_decision t cpu =
+  match (cpu.current, cpu.completion) with
+  | Some task, Some _ ->
+      if is_be t task then begin
+        if be_occupancy t > t.be_allowance then preempt_current t cpu
+      end
+      else if t.policy.sched_timer_tick ~cpu:cpu.core_id task then
+        preempt_current t cpu
+  | _ -> kick t cpu
+
 let on_tick t cpu =
   t.ticks <- t.ticks + 1;
   steal_time t cpu (Costs.user_timer_receive_ns + Costs.senduipi_sn_ns);
-  (match (cpu.current, cpu.completion) with
-  | Some task, Some _ ->
-      if t.policy.sched_timer_tick ~cpu:cpu.core_id task then preempt_current t cpu
-  | _ -> kick t cpu)
+  tick_decision t cpu
 
 let on_preempt_ipi t cpu =
   steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
-  match (cpu.current, cpu.completion) with
-  | Some task, Some _ ->
-      if t.policy.sched_timer_tick ~cpu:cpu.core_id task then preempt_current t cpu
-  | _ -> kick t cpu
+  tick_decision t cpu
 
 let uintr_handler t cpu ctx ~uvec =
   if uvec = Vectors.uvec_timer then begin
@@ -328,6 +380,11 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park 
       apps = [];
       daemon = App.daemon ();
       policy = Sched_ops.null_instance;
+      probe = { Sched_ops.queued = (fun () -> 0); oldest_wait = (fun () -> 0) };
+      be_app = None;
+      be_queue = Runqueue.create ();
+      be_allowance = List.length cores;
+      allocator = None;
       timer_hz;
       preemption;
       park;
@@ -335,6 +392,7 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park 
       switches = 0;
       app_switches = 0;
       preempts = 0;
+      be_preempts = 0;
       ticks = 0;
       rr_spawn = 0;
       uvec_handlers = Hashtbl.create 8;
@@ -342,7 +400,9 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park 
     }
   in
   Array.iter (fun cpu -> Hashtbl.replace t.by_core cpu.core_id cpu) cpus;
-  t.policy <- ctor (view t);
+  let policy, probe = Sched_ops.instrument ~now:(fun () -> now t) (ctor (view t)) in
+  t.policy <- policy;
+  t.probe <- probe;
   (* The daemon occupies every isolated core first (§4.1). *)
   Array.iter
     (fun core ->
@@ -360,6 +420,120 @@ let create_app t ~name =
   t.apps <- app :: t.apps;
   Array.iter (fun core -> ignore (register_kthread t app.App.id core)) t.cores;
   app
+
+(* ---- core allocation ----------------------------------------------------- *)
+
+(* Change how many cores BE may occupy.  Shrinking preempts the excess BE
+   cores as if the daemon sent them preemption user IPIs (receive cost
+   charged, then the next LC dispatch pays {!Kmod.switch_to}).  Growing
+   kicks idle cores so they pick BE work up. *)
+let set_be_allowance t n =
+  let old = t.be_allowance in
+  t.be_allowance <- n;
+  if n < old then begin
+    let excess = ref (be_occupancy t - n) in
+    Array.iter
+      (fun cpu ->
+        if !excess > 0 then
+          match cpu.current with
+          | Some task when is_be t task && cpu.completion <> None ->
+              steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
+              preempt_current t cpu;
+              decr excess
+          | _ -> ())
+      t.cpus
+  end
+  else if n > old && not (Runqueue.is_empty t.be_queue) then
+    Array.iter (fun cpu -> if cpu.current = None then kick t cpu) t.cpus
+
+(* Busy nanoseconds including the in-flight segment of running cores, so
+   the allocator's utilization sample does not lag long-running tasks. *)
+let in_flight_busy t ~matches =
+  Array.fold_left
+    (fun acc cpu ->
+      match cpu.current with
+      | Some task when matches task.Task.app -> acc + max 0 (now t - cpu.busy_from)
+      | _ -> acc)
+    0 t.cpus
+
+let lc_busy_ns t =
+  let be_id = match t.be_app with Some app -> app.App.id | None -> -1 in
+  let recorded =
+    List.fold_left
+      (fun acc (a : App.t) -> if a.App.id = be_id then acc else acc + a.App.busy_ns)
+      t.daemon.App.busy_ns t.apps
+  in
+  recorded + in_flight_busy t ~matches:(fun id -> id <> be_id)
+
+let be_busy_ns t (app : App.t) =
+  app.App.busy_ns + in_flight_busy t ~matches:(fun id -> id = app.App.id)
+
+let attach_be_app t ?alloc app ~chunk ~workers =
+  if t.be_app <> None then invalid_arg "Percpu.attach_be_app: BE app already set";
+  if not (List.exists (fun a -> a == app) t.apps) then
+    invalid_arg "Percpu.attach_be_app: app not created by this runtime";
+  let cfg = match alloc with Some a -> a | None -> Allocator.default_config () in
+  t.be_app <- Some app;
+  for i = 1 to workers do
+    (* A batch worker is an endless sequence of compute chunks, yielding
+       between chunks so reclaimed cores come back promptly. *)
+    let rec loop () = Coro.Compute (chunk, fun () -> Coro.Yield loop) in
+    let task =
+      Task.create ~app:app.App.id ~name:(Printf.sprintf "be-%d" i) (loop ())
+    in
+    app.App.spawned <- app.App.spawned + 1;
+    app.App.tasks_alive <- app.App.tasks_alive + 1;
+    Runqueue.push_tail t.be_queue task
+  done;
+  let total = Array.length t.cpus in
+  let burst = min (Option.value cfg.Allocator.be_burstable ~default:total) total in
+  let guar = min (max 0 cfg.Allocator.be_guaranteed) burst in
+  t.be_allowance <- burst;
+  let on_event (ev : Allocator.event) =
+    let kind =
+      match ev.Allocator.action with
+      | Allocator.Granted -> Trace.Core_grant
+      | Allocator.Reclaimed | Allocator.Yielded -> Trace.Core_reclaim
+    in
+    trace_instant t ~core:t.cores.(0) kind
+      (Printf.sprintf "%s=%d" ev.Allocator.app_name ev.Allocator.granted)
+  in
+  let alloc =
+    Allocator.create ~engine:t.engine ~policy:cfg.Allocator.policy
+      ~interval:cfg.Allocator.interval ~total_cores:total ~on_event ()
+  in
+  Allocator.register alloc ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
+    ~bounds:{ Allocator.guaranteed = 0; burstable = total }
+    ~initial:(total - burst)
+    ~sample:(fun () ->
+      {
+        Allocator.runq_len = t.probe.Sched_ops.queued ();
+        oldest_delay = t.probe.Sched_ops.oldest_wait ();
+        busy_ns = lc_busy_ns t;
+      })
+    ~apply:(fun ~granted:_ ~delta:_ -> 0);
+  Allocator.register alloc ~app:app.App.id ~name:app.App.name
+    ~kind:Alloc_policy.Be
+    ~bounds:{ Allocator.guaranteed = guar; burstable = burst }
+    ~initial:burst
+    ~sample:(fun () ->
+      {
+        Allocator.runq_len = Runqueue.length t.be_queue;
+        oldest_delay = 0;
+        busy_ns = be_busy_ns t app;
+      })
+    ~apply:(fun ~granted ~delta ->
+      set_be_allowance t granted;
+      (* Moving a core between applications costs an inter-application
+         switch at the next dispatch on that core (§5.4); account it on
+         the BE side only so each move is charged once. *)
+      Costs.app_switch_ns * abs delta);
+  Allocator.start alloc;
+  t.allocator <- Some alloc;
+  Array.iter (fun cpu -> if cpu.current = None then kick t cpu) t.cpus
+
+let allocator t = t.allocator
+let be_preemptions t = t.be_preempts
 
 let pick_spawn_cpu t =
   match Sched_ops.pick_idle (view t) with

@@ -49,6 +49,29 @@ val create_app : t -> name:string -> App.t
 (** Launch an application: registers one parked kernel thread per isolated
     core with the kernel module. *)
 
+val attach_be_app :
+  t ->
+  ?alloc:Skyloft_alloc.Allocator.config ->
+  App.t ->
+  chunk:Time.t ->
+  workers:int ->
+  unit
+(** Co-schedule [app] as the best-effort application: [workers] batch
+    tasks, each an endless sequence of [chunk]-sized compute segments,
+    kept outside the LC policy's runqueues.  Starts the core allocator
+    ([alloc], default {!Skyloft_alloc.Allocator.default_config}): its
+    policy decides each interval how many cores BE may occupy; every core
+    moved charges the §5.4 inter-application switch cost, and grants and
+    reclaims are emitted as trace instants when tracing is on.  Timer
+    ticks preempt BE tasks whenever LC work is queued. *)
+
+val allocator : t -> Skyloft_alloc.Allocator.t option
+(** The running core allocator, once {!attach_be_app} has started it. *)
+
+val be_preemptions : t -> int
+(** BE tasks preempted (timer ticks with LC work queued + allocator
+    reclaims). *)
+
 val spawn :
   t -> App.t -> name:string -> ?cpu:int -> ?arrival:Time.t -> ?service:Time.t ->
   ?record:bool -> Coro.t -> Task.t

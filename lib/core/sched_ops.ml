@@ -33,6 +33,53 @@ let null_instance =
     sched_balance = no_balance;
   }
 
+type probe = { queued : unit -> int; oldest_wait : unit -> Time.t }
+
+(* Queue length and oldest-pending-task age are not part of the Table 2
+   interface, so the runtimes measure them by wrapping the policy's queue
+   operations.  Enqueue-order timestamps approximate the oldest pending
+   task exactly for FIFO policies and conservatively otherwise. *)
+let instrument ~now (p : instance) =
+  let count = ref 0 in
+  let stamps = Queue.create () in
+  let entered () =
+    incr count;
+    Queue.push (now ()) stamps
+  in
+  let left = function
+    | None -> None
+    | some ->
+        if !count > 0 then decr count;
+        if not (Queue.is_empty stamps) then ignore (Queue.pop stamps);
+        some
+  in
+  let wrapped =
+    {
+      p with
+      task_enqueue =
+        (fun ~cpu ~reason task ->
+          entered ();
+          p.task_enqueue ~cpu ~reason task);
+      task_dequeue = (fun ~cpu -> left (p.task_dequeue ~cpu));
+      task_wakeup =
+        (fun ~waker_cpu task ->
+          (* policies enqueue woken tasks internally, bypassing
+             [task_enqueue] *)
+          entered ();
+          p.task_wakeup ~waker_cpu task);
+      sched_balance = (fun ~cpu -> left (p.sched_balance ~cpu));
+    }
+  in
+  let probe =
+    {
+      queued = (fun () -> !count);
+      oldest_wait =
+        (fun () ->
+          if Queue.is_empty stamps then 0 else max 0 (now () - Queue.peek stamps));
+    }
+  in
+  (wrapped, probe)
+
 let pick_idle view =
   let found = ref None in
   (try

@@ -59,7 +59,6 @@ let run_centralized (config : Config.t) ~mechanism ~quantum ~with_be ~rate_rps =
   in
   let rt =
     Centralized.create machine kmod ~dispatcher_core ~worker_cores ~quantum ~mechanism
-      ~be_reclaim:(Centralized.Reclaim_periodic (Time.us 5))
       policy
   in
   let lc = Centralized.create_app rt ~name:"lc" in

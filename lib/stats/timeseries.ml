@@ -1,0 +1,94 @@
+module Time = Skyloft_sim.Time
+
+type t = {
+  capacity : int;
+  times : Time.t array;
+  values : int array;
+  mutable head : int;  (* next write position *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
+  {
+    capacity;
+    times = Array.make capacity 0;
+    values = Array.make capacity 0;
+    head = 0;
+    count = 0;
+    dropped = 0;
+  }
+
+let nth t i =
+  (* i-th retained sample, oldest first *)
+  let start = if t.count = t.capacity then t.head else 0 in
+  let j = (start + i) mod t.capacity in
+  (t.times.(j), t.values.(j))
+
+let last t = if t.count = 0 then None else Some (nth t (t.count - 1))
+
+let record t ~at v =
+  (match last t with
+  | Some (prev_at, _) when at < prev_at ->
+      invalid_arg "Timeseries.record: time went backwards"
+  | _ -> ());
+  match last t with
+  | Some (_, prev_v) when prev_v = v -> ()
+  | _ ->
+      if t.count = t.capacity then t.dropped <- t.dropped + 1
+      else t.count <- t.count + 1;
+      t.times.(t.head) <- at;
+      t.values.(t.head) <- v;
+      t.head <- (t.head + 1) mod t.capacity
+
+let length t = t.count
+let dropped t = t.dropped
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.count - 1 downto 0 do
+    acc := nth t i :: !acc
+  done;
+  !acc
+
+let value_at t at =
+  let found = ref None in
+  (try
+     for i = t.count - 1 downto 0 do
+       let time, v = nth t i in
+       if time <= at then begin
+         found := Some v;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+let mean t ~until =
+  if t.count = 0 then nan
+  else begin
+    let weighted = ref 0.0 and span = ref 0.0 in
+    for i = 0 to t.count - 1 do
+      let start, v = nth t i in
+      let stop = if i = t.count - 1 then max until start else fst (nth t (i + 1)) in
+      let stop = min stop (max until start) in
+      if stop > start then begin
+        let w = float_of_int (stop - start) in
+        weighted := !weighted +. (w *. float_of_int v);
+        span := !span +. w
+      end
+    done;
+    if !span = 0.0 then float_of_int (snd (nth t (t.count - 1)))
+    else !weighted /. !span
+  end
+
+let fold_values f init t =
+  let acc = ref init in
+  for i = 0 to t.count - 1 do
+    acc := f !acc (snd (nth t i))
+  done;
+  !acc
+
+let min_value t = if t.count = 0 then 0 else fold_values min max_int t
+let max_value t = if t.count = 0 then 0 else fold_values max min_int t

@@ -1,0 +1,37 @@
+module Time = Skyloft_sim.Time
+
+(** Step-function timeseries: (time, value) samples recorded in
+    nondecreasing time order, holding each value until the next sample.
+
+    Used for slowly-changing runtime state — per-application core counts
+    from the allocator, queue depths — where a histogram would lose the
+    time dimension.  Bounded: the oldest samples are dropped once
+    [capacity] is exceeded. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep at most [capacity] (default 65,536) most recent samples. *)
+
+val record : t -> at:Time.t -> int -> unit
+(** Append a sample.  [at] must be >= the previous sample's time.
+    Consecutive samples with the same value are collapsed. *)
+
+val length : t -> int
+val dropped : t -> int
+val last : t -> (Time.t * int) option
+
+val to_list : t -> (Time.t * int) list
+(** Chronological (oldest first). *)
+
+val value_at : t -> Time.t -> int option
+(** Step-function lookup: the value of the last sample at or before the
+    given time; [None] before the first sample. *)
+
+val mean : t -> until:Time.t -> float
+(** Time-weighted mean of the step function from the first sample to
+    [until].  [nan] when empty. *)
+
+val min_value : t -> int
+val max_value : t -> int
+(** Extremes over the retained samples; 0 when empty. *)

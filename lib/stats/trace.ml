@@ -1,6 +1,13 @@
 module Time = Skyloft_sim.Time
 
-type instant_kind = Preempt | Wakeup | App_switch | Timer_tick | Fault
+type instant_kind =
+  | Preempt
+  | Wakeup
+  | App_switch
+  | Timer_tick
+  | Fault
+  | Core_grant
+  | Core_reclaim
 
 type event =
   | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }
@@ -37,6 +44,8 @@ let kind_name = function
   | App_switch -> "app-switch"
   | Timer_tick -> "tick"
   | Fault -> "fault"
+  | Core_grant -> "core-grant"
+  | Core_reclaim -> "core-reclaim"
 
 let escape s =
   let buf = Buffer.create (String.length s) in

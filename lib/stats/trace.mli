@@ -16,6 +16,8 @@ type instant_kind =
   | App_switch  (** cross-application kthread switch *)
   | Timer_tick  (** user timer interrupt handled *)
   | Fault  (** blocking event (page fault) *)
+  | Core_grant  (** the core allocator granted a core to an application *)
+  | Core_reclaim  (** the core allocator reclaimed a core *)
 
 val create : ?capacity:int -> unit -> t
 (** Keep at most [capacity] (default 100,000) most recent events. *)

@@ -288,6 +288,31 @@ let test_kmod_terminate_last_rule () =
   check (Alcotest.option Alcotest.unit) "core empty" None
     (Option.map ignore (Kmod.active_on kmod ~core:0))
 
+let test_kmod_activate_after_terminate_rejected () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  Kmod.terminate kmod a;
+  check Alcotest.bool "exited kthread cannot be reactivated" true
+    (try
+       ignore (Kmod.activate kmod a);
+       false
+     with Kmod.Binding_rule_violation _ -> true)
+
+let test_kmod_switch_to_exited_rejected () =
+  let _, _, kmod = make_kmod () in
+  let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
+  let b = Kmod.park_on_cpu kmod ~app:2 ~core:0 in
+  ignore (Kmod.activate kmod b);
+  ignore (Kmod.switch_to kmod ~from:b ~target:a);
+  (* b parked and terminates; the core allocator must not be able to hand
+     the core back to it afterwards *)
+  Kmod.terminate kmod b;
+  check Alcotest.bool "switch to exited target rejected" true
+    (try
+       ignore (Kmod.switch_to kmod ~from:a ~target:b);
+       false
+     with Kmod.Binding_rule_violation _ -> true)
+
 let test_kmod_timer_enable_sets_sn () =
   let _, _, kmod = make_kmod () in
   let a = Kmod.park_on_cpu kmod ~app:1 ~core:0 in
@@ -319,5 +344,9 @@ let suite =
     Alcotest.test_case "kmod: switch from inactive rejected" `Quick
       test_kmod_switch_from_inactive_rejected;
     Alcotest.test_case "kmod: terminate rules" `Quick test_kmod_terminate_last_rule;
+    Alcotest.test_case "kmod: activate after terminate rejected" `Quick
+      test_kmod_activate_after_terminate_rejected;
+    Alcotest.test_case "kmod: switch to exited target rejected" `Quick
+      test_kmod_switch_to_exited_rejected;
     Alcotest.test_case "kmod: timer enable" `Quick test_kmod_timer_enable_sets_sn;
   ]

@@ -5,6 +5,7 @@ let () =
       ("stats", Test_stats.suite);
       ("hw", Test_hw.suite);
       ("kernel", Test_kernel.suite);
+      ("alloc", Test_alloc.suite);
       ("core", Test_core.suite);
       ("net", Test_net.suite);
       ("policies", Test_policies.suite);
