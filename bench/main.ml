@@ -301,6 +301,9 @@ let () =
   ignore (E.Colocate_alloc.print config);
   write_bench_alloc_json config;
 
+  (* Fault-rate sweep (lib/fault): recovery machinery + BENCH_fault.json. *)
+  ignore (E.Fault_sweep.print config);
+
   (* Ablations of the design choices (DESIGN.md §5). *)
   E.Ablations.print config;
   Printf.printf "\nAll tables and figures regenerated.\n"

@@ -56,6 +56,9 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
     ( "colocate-alloc",
       "core-allocation policy comparison (Static/Utilization/Delay)",
       fun c -> ignore (E.Colocate_alloc.print c) );
+    ( "fault-sweep",
+      "fault-rate sweep: p99 + recovery accounting under injected faults",
+      fun c -> ignore (E.Fault_sweep.print c) );
     ("fig8a", "Memcached under the USR workload",
      fun c -> ignore (E.Fig8.print_a c));
     ("fig8b", "RocksDB under the bimodal workload",

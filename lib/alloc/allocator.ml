@@ -4,7 +4,7 @@ module Timeseries = Skyloft_stats.Timeseries
 
 type bounds = { guaranteed : int; burstable : int }
 type raw = { runq_len : int; oldest_delay : Time.t; busy_ns : int }
-type action = Granted | Reclaimed | Yielded
+type action = Granted | Reclaimed | Yielded | Degraded | Recovered
 
 type event = {
   at : Time.t;
@@ -20,6 +20,7 @@ type config = {
   interval : Time.t;
   be_guaranteed : int;
   be_burstable : int option;
+  degrade_after : int option;
 }
 
 let default_config () =
@@ -28,6 +29,7 @@ let default_config () =
     interval = Time.us 5;
     be_guaranteed = 0;
     be_burstable = None;
+    degrade_after = None;
   }
 
 type binding = {
@@ -39,6 +41,7 @@ type binding = {
   apply : granted:int -> delta:int -> Time.t;
   mutable granted : int;
   mutable last_busy_ns : int;
+  mutable stale_ticks : int;  (* consecutive ticks with a frozen signal *)
   series : Timeseries.t;
 }
 
@@ -48,6 +51,10 @@ type t = {
   interval : Time.t;
   total_cores : int;
   on_event : event -> unit;
+  degrade_after : int option;
+  fallback : Policy.t;  (* Static, used while degraded *)
+  mutable degraded : bool;
+  mutable degradations : int;
   mutable apps : binding list;  (* registration order *)
   event_log : event Queue.t;
   mutable grants : int;
@@ -60,15 +67,23 @@ type t = {
 
 let event_log_cap = 4096
 
-let create ~engine ~policy ~interval ~total_cores ?(on_event = ignore) () =
+let create ~engine ~policy ~interval ~total_cores ?(on_event = ignore)
+    ?degrade_after () =
   if interval <= 0 then invalid_arg "Allocator.create: interval must be positive";
   if total_cores <= 0 then invalid_arg "Allocator.create: total_cores must be positive";
+  (match degrade_after with
+  | Some n when n <= 0 -> invalid_arg "Allocator.create: degrade_after must be positive"
+  | Some _ | None -> ());
   {
     engine;
     policy;
     interval;
     total_cores;
     on_event;
+    degrade_after;
+    fallback = Policy.static ();
+    degraded = false;
+    degradations = 0;
     apps = [];
     event_log = Queue.create ();
     grants = 0;
@@ -108,6 +123,7 @@ let register t ~app ~name ~kind ~bounds ~initial ~sample ~apply =
       apply;
       granted = initial;
       last_busy_ns = (sample ()).busy_ns;
+      stale_ticks = 0;
       series = Timeseries.create ();
     }
   in
@@ -124,7 +140,8 @@ let transition t b ~action ~delta =
     (match action with
     | Granted -> t.grants <- t.grants + 1
     | Reclaimed -> t.reclaims <- t.reclaims + 1
-    | Yielded -> t.yields <- t.yields + 1);
+    | Yielded -> t.yields <- t.yields + 1
+    | Degraded | Recovered -> ());
     let ev =
       {
         at = Engine.now t.engine;
@@ -144,6 +161,12 @@ let transition t b ~action ~delta =
 let signal_of t b (r : raw) =
   let busy = max 0 (r.busy_ns - b.last_busy_ns) in
   b.last_busy_ns <- r.busy_ns;
+  (* Staleness: cores granted and work queued, yet zero progress — the
+     congestion signal is frozen (stuck tasks, stolen cores, lost ticks)
+     and adaptive policies would act on fiction. *)
+  if busy = 0 && r.runq_len > 0 && b.granted > 0 then
+    b.stale_ticks <- b.stale_ticks + 1
+  else b.stale_ticks <- 0;
   {
     Policy.kind = b.kind;
     cores = b.granted;
@@ -153,12 +176,47 @@ let signal_of t b (r : raw) =
       float_of_int busy /. float_of_int (t.interval * max 1 b.granted);
   }
 
+(* Mode transitions bypass {!transition}: they move no cores. *)
+let emit_mode t action =
+  let ev =
+    {
+      at = Engine.now t.engine;
+      app = -1;
+      app_name = "allocator";
+      action;
+      delta = 0;
+      granted = sum_granted t;
+    }
+  in
+  if Queue.length t.event_log >= event_log_cap then ignore (Queue.pop t.event_log);
+  Queue.push ev t.event_log;
+  t.on_event ev
+
+let update_mode t =
+  match t.degrade_after with
+  | None -> ()
+  | Some n ->
+      let stale = List.exists (fun b -> b.stale_ticks >= n) t.apps in
+      if stale && not t.degraded then begin
+        t.degraded <- true;
+        t.degradations <- t.degradations + 1;
+        emit_mode t Degraded
+      end
+      else if (not stale) && t.degraded then begin
+        t.degraded <- false;
+        emit_mode t Recovered
+      end
+
 let tick t =
   t.ticks <- t.ticks + 1;
+  let sampled = List.map (fun b -> (b, signal_of t b (b.sample ()))) t.apps in
+  update_mode t;
+  (* Graceful degradation: while congestion signals are stale, decide with
+     the predictable Static fallback instead of an adaptive policy whose
+     hysteresis state is being fed frozen inputs. *)
+  let policy = if t.degraded then t.fallback else t.policy in
   let decisions =
-    List.map
-      (fun b -> (b, Policy.observe t.policy ~app:b.id (signal_of t b (b.sample ()))))
-      t.apps
+    List.map (fun (b, s) -> (b, Policy.observe policy ~app:b.id s)) sampled
   in
   let free = ref (free_cores t) in
   (* 1. voluntary yields refill the pool (never below the guaranteed floor) *)
@@ -227,5 +285,10 @@ let yields t = t.yields
 let ticks t = t.ticks
 let charged_ns t = t.charged_ns
 let events t = List.of_seq (Queue.to_seq t.event_log)
-let policy_name t = Policy.name t.policy
+let degraded t = t.degraded
+let degradations t = t.degradations
+
+let policy_name t =
+  if t.degraded then Policy.name t.fallback else Policy.name t.policy
+
 let interval t = t.interval

@@ -38,14 +38,19 @@ type raw = {
   busy_ns : int;  (** cumulative, including the in-flight segment *)
 }
 
-type action = Granted | Reclaimed | Yielded
+type action =
+  | Granted
+  | Reclaimed
+  | Yielded
+  | Degraded  (** signals went stale; fell back to the Static policy *)
+  | Recovered  (** signals move again; the configured policy resumed *)
 
 type event = {
   at : Time.t;
-  app : int;
+  app : int;  (** [-1] for allocator-wide mode transitions *)
   app_name : string;
   action : action;
-  delta : int;  (** cores moved (positive) *)
+  delta : int;  (** cores moved (positive); [0] for mode transitions *)
   granted : int;  (** the app's grant after the transition *)
 }
 
@@ -58,10 +63,15 @@ type config = {
   be_guaranteed : int;  (** cores the BE app never loses *)
   be_burstable : int option;
       (** cap on BE cores; [None] means every managed core *)
+  degrade_after : int option;
+      (** fall back to the Static policy after this many consecutive ticks
+          of a stale congestion signal (an app with cores granted, work
+          queued, and zero progress); [None] disables degradation *)
 }
 
 val default_config : unit -> config
-(** Static policy, 5 µs interval, bounds [0 .. all cores]. *)
+(** Static policy, 5 µs interval, bounds [0 .. all cores], no
+    degradation. *)
 
 type t
 
@@ -71,6 +81,7 @@ val create :
   interval:Time.t ->
   total_cores:int ->
   ?on_event:(event -> unit) ->
+  ?degrade_after:int ->
   unit ->
   t
 
@@ -116,6 +127,15 @@ val charged_ns : t -> Time.t
 val events : t -> event list
 (** Chronological log of the most recent transitions (bounded). *)
 
+val degraded : t -> bool
+(** Currently deciding with the Static fallback because some app's
+    congestion signal is stale (see {!config.degrade_after}). *)
+
+val degradations : t -> int
+(** Times the allocator entered degraded mode. *)
+
 val policy_name : t -> string
+(** Name of the policy currently deciding (the fallback while degraded). *)
+
 val interval : t -> Time.t
 val free_cores : t -> int

@@ -28,6 +28,8 @@ let create ~name =
   incr counter;
   make !counter name
 
+let reset_ids () = counter := 0
+
 let daemon () = make 0 "daemon"
 
 let cpu_share t ~total_ns =

@@ -26,6 +26,12 @@ val create : name:string -> t
 val daemon : unit -> t
 (** The Skyloft daemon pseudo-application (id 0): owns the idle loops. *)
 
+val reset_ids : unit -> unit
+(** Restart the process-wide id counter.  For tests that compare the
+    byte-level output of two sequential runs in one process: app ids leak
+    into trace [pid] fields, so each run must start from the same
+    counter.  Never call while a runtime is live. *)
+
 val cpu_share : t -> total_ns:int -> float
 (** Fraction of [total_ns] this application spent running. *)
 

@@ -4,8 +4,11 @@ module Engine = Skyloft_sim.Engine
 module Eventq = Skyloft_sim.Eventq
 module Machine = Skyloft_hw.Machine
 module Costs = Skyloft_hw.Costs
+module Vectors = Skyloft_hw.Vectors
 module Kmod = Skyloft_kernel.Kmod
 module Summary = Skyloft_stats.Summary
+module Histogram = Skyloft_stats.Histogram
+module Trace = Skyloft_stats.Trace
 module Alloc_policy = Skyloft_alloc.Policy
 module Allocator = Skyloft_alloc.Allocator
 
@@ -62,6 +65,7 @@ type worker = {
   mutable incoming : int;  (* app of the in-flight assignment; -1 if none *)
   mutable busy_from : Time.t;
   mutable active_app : int;
+  mutable stolen_until : Time.t;  (* host-kernel steal in progress until *)
 }
 
 type t = {
@@ -87,10 +91,21 @@ type t = {
   mutable preempts : int;
   mutable be_preempts : int;
   mutable dispatches : int;
+  watchdog : Time.t option;
+  rescue_detect : Histogram.t;
+  mutable rescues : int;
+  mutable failovers : int;
+  mutable deadline_drops : int;
+  mutable trace : Trace.t option;
 }
 
 let now t = Engine.now t.engine
 let quantum t = t.quantum
+
+let trace_instant t ~core kind name =
+  match t.trace with
+  | Some trace -> Trace.instant trace ~core ~at:(now t) kind ~name
+  | None -> ()
 
 let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = id) t.apps
 
@@ -225,16 +240,31 @@ and assign t w (task : Task.t) =
   w.incoming <- task.Task.app;
   dispatcher_do t t.mech.dispatch_cost (fun () -> start_on t w task)
 
+(* Dequeue, discarding tasks killed while they waited (deadline kills of
+   Runnable tasks are lazy; the drop was accounted at kill time). *)
+and next_lc t w =
+  match t.policy.task_dequeue ~cpu:w.core_id with
+  | Some task when task.Task.killed ->
+      task.Task.state <- Task.Exited;
+      t.policy.task_terminate task;
+      next_lc t w
+  | other -> other
+
+and next_be t =
+  match Runqueue.pop_head t.be_queue with
+  | Some be when be.Task.killed ->
+      be.Task.state <- Task.Exited;
+      next_be t
+  | other -> other
+
 and try_next t w =
   if not w.reserved && w.current = None then begin
-    match t.policy.task_dequeue ~cpu:w.core_id with
+    match next_lc t w with
     | Some task -> assign t w task
     | None ->
         (* BE work only on cores inside the allocator's current grant *)
         if be_occupancy t < t.be_allowance then (
-          match Runqueue.pop_head t.be_queue with
-          | Some be -> assign t w be
-          | None -> ())
+          match next_be t with Some be -> assign t w be | None -> ())
   end
 
 (* Preemption of the task currently on [w]; the caller already charged the
@@ -256,6 +286,23 @@ and do_preempt t w gen ~requeue =
       try_next t w
   | _ -> ()
 
+(* The preemption notification in flight from dispatcher to worker.  Its
+   modeled delivery path is an engine delay, so injected IPI faults are
+   consulted here: a dropped notification silently loses the preemption
+   (the §3.2 lost-wakeup window — the watchdog is the backstop), a delayed
+   one stretches the delivery latency. *)
+and deliver_preempt t w gen ~requeue =
+  match Machine.fault_fate t.machine ~core:w.core_id Vectors.uintr_notification with
+  | Machine.Drop -> ()
+  | Machine.Delay d ->
+      ignore
+        (Engine.after t.engine (t.mech.preempt_delivery + d) (fun () ->
+             do_preempt t w gen ~requeue))
+  | Machine.Deliver ->
+      ignore
+        (Engine.after t.engine t.mech.preempt_delivery (fun () ->
+             do_preempt t w gen ~requeue))
+
 and quantum_check t w (task : Task.t) gen =
   let still_running =
     match w.current with Some cur -> cur == task && w.gen = gen | None -> false
@@ -263,11 +310,9 @@ and quantum_check t w (task : Task.t) gen =
   if still_running then begin
     t.preempts <- t.preempts + 1;
     dispatcher_do t t.mech.preempt_send (fun () ->
-        ignore
-          (Engine.after t.engine t.mech.preempt_delivery (fun () ->
-               do_preempt t w gen ~requeue:(fun task ->
-                   t.policy.task_enqueue ~cpu:t.dispatcher_core
-                     ~reason:Sched_ops.Enq_preempted task))))
+        deliver_preempt t w gen ~requeue:(fun task ->
+            t.policy.task_enqueue ~cpu:t.dispatcher_core
+              ~reason:Sched_ops.Enq_preempted task))
   end
 
 let preempt_be_worker t w =
@@ -276,12 +321,64 @@ let preempt_be_worker t w =
       let gen = w.gen in
       t.be_preempts <- t.be_preempts + 1;
       dispatcher_do t t.mech.preempt_send (fun () ->
-          ignore
-            (Engine.after t.engine t.mech.preempt_delivery (fun () ->
-                 do_preempt t w gen ~requeue:(fun task ->
-                     Runqueue.push_head t.be_queue task))));
+          deliver_preempt t w gen ~requeue:(fun task ->
+              Runqueue.push_head t.be_queue task));
       true
   | _ -> false
+
+(* ---- watchdog: dispatcher failover + stuck-worker rescue ----------------- *)
+
+let rescue_worker t w (task : Task.t) ~late =
+  t.rescues <- t.rescues + 1;
+  Histogram.record t.rescue_detect late;
+  trace_instant t ~core:w.core_id Trace.Watchdog_rescue task.Task.name;
+  do_preempt t w w.gen ~requeue:(fun task ->
+      if is_be t task then Runqueue.push_head t.be_queue task
+      else
+        t.policy.task_enqueue ~cpu:t.dispatcher_core
+          ~reason:Sched_ops.Enq_preempted task)
+
+let watchdog_scan t ~bound =
+  (* Dispatcher failover: the serial dispatcher is wedged more than a full
+     bound into the future (host-kernel steal, runaway operation).  Promote
+     a worker into the dispatcher role — one inter-application switch, then
+     dispatching resumes; operations already queued behind the stall still
+     complete at their scheduled times. *)
+  if t.disp_busy_until > now t + bound then begin
+    t.failovers <- t.failovers + 1;
+    trace_instant t ~core:t.dispatcher_core Trace.Failover "dispatcher";
+    t.disp_busy_until <- now t + Costs.app_switch_ns
+  end;
+  Array.iter
+    (fun w ->
+      if now t >= w.stolen_until then
+        match w.current with
+        | Some task when w.completion <> None ->
+            (* A quantum-sized run is legitimate; a full bound past the
+               expected preemption point means the preemption was lost. *)
+            let allowed =
+              bound + if t.quantum > 0 && not (is_be t task) then t.quantum else 0
+            in
+            let overrun = now t - task.Task.run_start - allowed in
+            if overrun > 0 then rescue_worker t w task ~late:overrun
+        | _ -> ())
+    t.workers
+
+(* Host-kernel steal of a worker core: the running segment freezes for the
+   outage and resumes at hand-back; run_start moves with it so the quantum
+   and watchdog clocks do not count stolen time against the task. *)
+let on_worker_steal t w ~duration =
+  w.stolen_until <- max w.stolen_until (now t + duration);
+  match (w.current, w.completion) with
+  | Some task, Some h ->
+      Eventq.cancel h;
+      task.Task.segment_end <- task.Task.segment_end + duration;
+      task.Task.run_start <- task.Task.run_start + duration;
+      w.completion <-
+        Some
+          (Engine.at t.engine task.Task.segment_end (fun () ->
+               on_complete t w task))
+  | _ -> ()
 
 (* ---- core allocation ----------------------------------------------------- *)
 
@@ -343,10 +440,14 @@ let register_kthread t app_id core =
   kt
 
 let create machine kmod ~dispatcher_core ~worker_cores ~quantum
-    ?(mechanism = skyloft_mechanism) ?alloc ?(immediate = false) ctor =
+    ?(mechanism = skyloft_mechanism) ?alloc ?(immediate = false) ?watchdog ctor =
   if worker_cores = [] then invalid_arg "Centralized.create: no worker cores";
   if List.mem dispatcher_core worker_cores then
     invalid_arg "Centralized.create: dispatcher core cannot also be a worker";
+  (match watchdog with
+  | Some bound when bound <= 0 ->
+      invalid_arg "Centralized.create: watchdog bound must be positive"
+  | Some _ | None -> ());
   let alloc = match alloc with Some a -> a | None -> Allocator.default_config () in
   let workers =
     Array.of_list
@@ -361,6 +462,7 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
              incoming = -1;
              busy_from = 0;
              active_app = 0;
+             stolen_until = 0;
            })
          worker_cores)
   in
@@ -388,6 +490,12 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
       preempts = 0;
       be_preempts = 0;
       dispatches = 0;
+      watchdog;
+      rescue_detect = Histogram.create ();
+      rescues = 0;
+      failovers = 0;
+      deadline_drops = 0;
+      trace = None;
     }
   in
   let policy, probe =
@@ -400,6 +508,19 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
       let kt = register_kthread t 0 w.core_id in
       ignore (Kmod.activate kmod kt))
     workers;
+  Array.iter
+    (fun w ->
+      Kmod.on_steal kmod ~core:w.core_id (fun ~duration ->
+          on_worker_steal t w ~duration))
+    workers;
+  Kmod.on_steal kmod ~core:dispatcher_core (fun ~duration ->
+      t.disp_busy_until <- max t.disp_busy_until (now t + duration));
+  (match watchdog with
+  | Some bound ->
+      Engine.every t.engine ~period:(max 1 (bound / 2)) (fun () ->
+          watchdog_scan t ~bound;
+          true)
+  | None -> ());
   t
 
 let create_app t ~name =
@@ -434,7 +555,17 @@ let attach_be_app t app ~chunk ~workers =
   t.be_allowance <- burst;
   let alloc =
     Allocator.create ~engine:t.engine ~policy:cfg.Allocator.policy
-      ~interval:cfg.Allocator.interval ~total_cores:total ()
+      ~interval:cfg.Allocator.interval ~total_cores:total
+      ~on_event:(fun ev ->
+        match ev.Allocator.action with
+        | Allocator.Degraded ->
+            trace_instant t ~core:t.dispatcher_core Trace.Alloc_degrade
+              ev.Allocator.app_name
+        | Allocator.Recovered ->
+            trace_instant t ~core:t.dispatcher_core Trace.Alloc_recover
+              ev.Allocator.app_name
+        | Allocator.Granted | Allocator.Reclaimed | Allocator.Yielded -> ())
+      ?degrade_after:cfg.Allocator.degrade_after ()
   in
   Allocator.register alloc ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
     ~bounds:{ Allocator.guaranteed = 0; burstable = total }
@@ -491,7 +622,55 @@ let pump t =
       t.workers
   end
 
-let submit t app ?(service = 0) ?(record = true) ~name body =
+(* ---- deadlines ----------------------------------------------------------- *)
+
+let deadline_expired t (task : Task.t) ~on_drop =
+  let app = find_app t task.Task.app in
+  app.App.tasks_alive <- app.App.tasks_alive - 1;
+  Summary.record_drop app.App.summary;
+  t.deadline_drops <- t.deadline_drops + 1;
+  trace_instant t ~core:(max 0 task.Task.last_core) Trace.Deadline_drop
+    task.Task.name;
+  match on_drop with Some f -> f task | None -> ()
+
+let kill t ?on_drop (task : Task.t) =
+  if not task.Task.killed then
+    match task.Task.state with
+    | Task.Exited -> ()
+    | Task.Running -> (
+        match
+          Array.find_opt
+            (fun w ->
+              match w.current with Some cur -> cur == task | None -> false)
+            t.workers
+        with
+        | Some w ->
+            (match w.completion with
+            | Some h ->
+                Eventq.cancel h;
+                w.completion <- None
+            | None -> ());
+            task.Task.killed <- true;
+            task.Task.state <- Task.Exited;
+            account t w;
+            w.current <- None;
+            w.gen <- w.gen + 1;
+            t.policy.task_terminate task;
+            deadline_expired t task ~on_drop;
+            try_next t w
+        | None -> ())
+    | Task.Runnable ->
+        (* Somewhere in a runqueue: account the drop now, discard lazily at
+           the next dequeue (see [next_lc]). *)
+        task.Task.killed <- true;
+        deadline_expired t task ~on_drop
+    | Task.Blocked ->
+        task.Task.killed <- true;
+        task.Task.state <- Task.Exited;
+        t.policy.task_terminate task;
+        deadline_expired t task ~on_drop
+
+let submit t app ?(service = 0) ?(record = true) ?deadline ?on_drop ~name body =
   let arrival = now t in
   let on_exit =
     if record then
@@ -508,6 +687,11 @@ let submit t app ?(service = 0) ?(record = true) ~name body =
   t.policy.task_init task;
   t.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_new task;
   pump t;
+  (match deadline with
+  | Some d ->
+      if d <= 0 then invalid_arg "Centralized.submit: deadline must be positive";
+      ignore (Engine.after t.engine d (fun () -> kill t ?on_drop task))
+  | None -> ());
   task
 
 let wakeup t (task : Task.t) =
@@ -524,6 +708,11 @@ let wakeup t (task : Task.t) =
 let preemptions t = t.preempts
 let dispatches t = t.dispatches
 let be_preemptions t = t.be_preempts
+let watchdog_rescues t = t.rescues
+let failovers t = t.failovers
+let rescue_detection t = t.rescue_detect
+let deadline_drops t = t.deadline_drops
+let set_trace t trace = t.trace <- Some trace
 
 let worker_busy_ns t =
   List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps

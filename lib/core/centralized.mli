@@ -53,6 +53,7 @@ val create :
   ?mechanism:mechanism ->
   ?alloc:Skyloft_alloc.Allocator.config ->
   ?immediate:bool ->
+  ?watchdog:Time.t ->
   Sched_ops.ctor ->
   t
 (** [quantum <= 0] disables quantum preemption (run-to-completion).
@@ -61,7 +62,16 @@ val create :
     (default {!Skyloft_alloc.Allocator.default_config}: Static policy at a
     5 µs interval).  [immediate] (default false) additionally preempts a BE
     worker the moment an LC request cannot be placed, without waiting for
-    the next allocator tick. *)
+    the next allocator tick.
+
+    [watchdog] arms the recovery watchdog: a periodic scan (twice per
+    bound) that (a) fails the dispatcher over to a worker when the serial
+    dispatcher is wedged more than a bound into the future (host-kernel
+    steal — {!failovers}), and (b) rescues workers still running one task
+    a full bound past its expected preemption point, meaning the
+    preemption user IPI was lost ({!watchdog_rescues},
+    {!rescue_detection}).  Cores inside a {!Kmod.steal_core} outage are
+    exempt until hand-back. *)
 
 val create_app : t -> name:string -> App.t
 
@@ -76,9 +86,29 @@ val allocator : t -> Skyloft_alloc.Allocator.t option
 (** The running core allocator, once {!attach_be_app} has started it. *)
 
 val submit :
-  t -> App.t -> ?service:Time.t -> ?record:bool -> name:string -> Coro.t -> Task.t
+  t ->
+  App.t ->
+  ?service:Time.t ->
+  ?record:bool ->
+  ?deadline:Time.t ->
+  ?on_drop:(Task.t -> unit) ->
+  name:string ->
+  Coro.t ->
+  Task.t
 (** Enqueue a latency-critical request; the dispatcher assigns it to a
-    worker (preempting BE work if needed). *)
+    worker (preempting BE work if needed).
+
+    [deadline] arms a kill timer [deadline] ns from now: a request that
+    has not exited by then is forcibly terminated ({!kill}), counted as a
+    deadline drop in the app's summary, and [on_drop] is called — every
+    submission is accounted for exactly once. *)
+
+val kill : t -> ?on_drop:(Task.t -> unit) -> Task.t -> unit
+(** Forcibly terminate a task wherever it is: running (preempted off its
+    worker and discarded), runnable (flagged; discarded at the next
+    dequeue), or blocked (never woken).  A no-op on exited or
+    already-killed tasks.  Counted in {!deadline_drops} and the app
+    summary's drop count. *)
 
 val wakeup : t -> Task.t -> unit
 val now : t -> Time.t
@@ -92,3 +122,20 @@ val worker_busy_ns : t -> int
 (** Total busy time across workers (all applications). *)
 
 val be_preemptions : t -> int
+
+val watchdog_rescues : t -> int
+(** Stuck workers rescued by the watchdog (see {!create}'s [watchdog]). *)
+
+val failovers : t -> int
+(** Dispatcher failovers performed by the watchdog. *)
+
+val rescue_detection : t -> Skyloft_stats.Histogram.t
+(** Detection latency per worker rescue: time past the allowed bound
+    before the scan noticed the stuck worker. *)
+
+val deadline_drops : t -> int
+(** Tasks killed by their submit deadline (see {!submit}). *)
+
+val set_trace : t -> Skyloft_stats.Trace.t -> unit
+(** Record recovery activity (watchdog rescues, failovers, deadline drops,
+    allocator mode transitions) as trace instants. *)

@@ -21,6 +21,8 @@ type cpu = {
   mutable kick_pending : bool;
   mutable parked : bool;  (* yielded to the kernel while idle (Shenango) *)
   mutable idle_gen : int;  (* invalidates stale park timers *)
+  mutable last_sched : Time.t;  (* last scheduling point (watchdog) *)
+  mutable stolen_until : Time.t;  (* host kernel holds the core until then *)
 }
 
 type t = {
@@ -42,11 +44,15 @@ type t = {
   timer_hz : int;
   preemption : bool;
   park : (Time.t * Time.t) option;  (* (idle_after, resume_cost) *)
+  watchdog : Time.t option;  (* rescue bound; None disables the watchdog *)
+  rescue_detect : Histogram.t;  (* how late each violation was caught *)
   wakeups : Histogram.t;
   mutable switches : int;
   mutable app_switches : int;
   mutable preempts : int;
   mutable be_preempts : int;
+  mutable rescues : int;
+  mutable deadline_drops : int;
   mutable ticks : int;
   mutable rr_spawn : int;  (* round-robin spawn placement cursor *)
   uvec_handlers : (int, int -> unit) Hashtbl.t;
@@ -160,6 +166,7 @@ and dispatch t cpu (task : Task.t) ~switch_cost =
   task.state <- Task.Running;
   cpu.current <- Some task;
   cpu.busy_from <- now t;
+  cpu.last_sched <- now t;
   let start = now t + switch_cost in
   (match task.wake_time with
   | Some w ->
@@ -183,7 +190,7 @@ and dispatch t cpu (task : Task.t) ~switch_cost =
   ignore (Engine.after t.engine switch_cost continue)
 
 and schedule t cpu ~prev =
-  let next =
+  let pick () =
     (* Cores inside the allocator's current BE grant belong to BE — they
        dispatch BE work ahead of LC so a guaranteed core cannot be starved
        by LC backlog.  LC congestion claws cores back through the
@@ -199,7 +206,18 @@ and schedule t cpu ~prev =
         | Some task -> Some task
         | None -> t.policy.sched_balance ~cpu:cpu.core_id)
   in
-  match next with
+  (* Tasks killed at their deadline while queued are discarded here, at
+     dequeue time, instead of being hunted down inside the policy's
+     runqueues. *)
+  let rec next_live () =
+    match pick () with
+    | Some task when task.Task.killed ->
+        task.Task.state <- Task.Exited;
+        if not (is_be t task) then t.policy.task_terminate task;
+        next_live ()
+    | next -> next
+  in
+  match next_live () with
   | None ->
       cpu.current <- None;
       cpu.idle_gen <- cpu.idle_gen + 1;
@@ -275,8 +293,10 @@ let steal_time t cpu cost =
 let kick t cpu =
   if cpu.current = None && not cpu.kick_pending then begin
     cpu.kick_pending <- true;
+    (* A stolen core cannot react until the host kernel hands it back. *)
+    let delay = max 0 (cpu.stolen_until - now t) in
     ignore
-      (Engine.after t.engine 0 (fun () ->
+      (Engine.after t.engine delay (fun () ->
            cpu.kick_pending <- false;
            if cpu.current = None then schedule t cpu ~prev:None))
   end
@@ -296,6 +316,7 @@ let kick_some_idle t =
    allowance (and never below the BE app's guaranteed cores), so the
    allowance is the single arbiter of BE occupancy. *)
 let tick_decision t cpu =
+  cpu.last_sched <- now t;
   match (cpu.current, cpu.completion) with
   | Some task, Some _ ->
       if is_be t task then begin
@@ -332,6 +353,52 @@ let uintr_handler t cpu ctx ~uvec =
         handler cpu.core_id
     | None -> ()
 
+(* ---- watchdog recovery --------------------------------------------------- *)
+
+(* No scheduling point on this core within the bound: the timer delegation
+   was lost (dropped notification, PIR never re-primed) or the current task
+   is stuck.  The rescue is what the daemon would do from a healthy core —
+   a rescue user IPI (receive cost charged), the LAPIC timer re-armed and
+   the PIR re-primed so future ticks are recognised again, then a forced
+   preemption so queued work gets the core. *)
+let rescue t cpu ~bound =
+  t.rescues <- t.rescues + 1;
+  Histogram.record t.rescue_detect (max 0 (now t - cpu.last_sched - bound));
+  (match cpu.current with
+  | Some task -> trace_instant t ~core:cpu.core_id Trace.Watchdog_rescue task.Task.name
+  | None -> ());
+  steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
+  if t.preemption then begin
+    ignore (Kmod.timer_set_hz t.kmod ~core:cpu.core_id ~hz:t.timer_hz);
+    match Machine.uintr_installed t.machine ~core:cpu.core_id with
+    | Some ctx when Machine.uintr_sn ctx ->
+        Machine.senduipi t.machine ~src_core:cpu.core_id ctx ~uvec:Vectors.uvec_timer
+    | Some _ | None -> ()
+  end;
+  preempt_current t cpu;
+  cpu.last_sched <- now t
+
+let watchdog_scan t ~bound =
+  Array.iter
+    (fun cpu ->
+      match cpu.current with
+      | Some _
+        when now t >= cpu.stolen_until
+             && (not (Machine.interrupts_masked (Machine.core t.machine cpu.core_id)))
+             && now t - cpu.last_sched > bound ->
+          rescue t cpu ~bound
+      | _ -> ())
+    t.cpus
+
+(* The host kernel stole this core: the running segment makes no progress
+   for the outage, and wake-up kicks defer until hand-back.  Deferred
+   interrupt vectors replay at unmask (the {!Machine} mask model), so a
+   queued tick re-preempts promptly once the core returns. *)
+let on_core_steal t cpu ~duration =
+  cpu.stolen_until <- max cpu.stolen_until (now t + duration);
+  steal_time t cpu duration;
+  cpu.last_sched <- max cpu.last_sched cpu.stolen_until
+
 (* ---- construction -------------------------------------------------------- *)
 
 let register_kthread t app_id core =
@@ -350,8 +417,13 @@ let register_kthread t app_id core =
   end;
   kt
 
-let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park ctor =
+let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park
+    ?watchdog ctor =
   if cores = [] then invalid_arg "Percpu.create: no cores";
+  (match watchdog with
+  | Some bound when bound <= 0 ->
+      invalid_arg "Percpu.create: watchdog bound must be positive"
+  | Some _ | None -> ());
   let cores_arr = Array.of_list cores in
   let cpus =
     Array.map
@@ -365,6 +437,8 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park 
           kick_pending = false;
           parked = false;
           idle_gen = 0;
+          last_sched = 0;
+          stolen_until = 0;
         })
       cores_arr
   in
@@ -388,11 +462,15 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park 
       timer_hz;
       preemption;
       park;
+      watchdog;
+      rescue_detect = Histogram.create ();
       wakeups = Histogram.create ();
       switches = 0;
       app_switches = 0;
       preempts = 0;
       be_preempts = 0;
+      rescues = 0;
+      deadline_drops = 0;
       ticks = 0;
       rr_spawn = 0;
       uvec_handlers = Hashtbl.create 8;
@@ -413,6 +491,19 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park 
     Array.iter
       (fun core -> ignore (Kmod.timer_set_hz kmod ~core ~hz:timer_hz))
       cores_arr;
+  (* React to host-kernel core steals (lib/fault's imperfect isolation). *)
+  Array.iter
+    (fun cpu ->
+      Kmod.on_steal kmod ~core:cpu.core_id (fun ~duration ->
+          on_core_steal t cpu ~duration))
+    t.cpus;
+  (match watchdog with
+  | Some bound ->
+      (* Scan at half the bound so a violation is caught within ~1.5x. *)
+      Engine.every t.engine ~period:(max 1 (bound / 2)) (fun () ->
+          watchdog_scan t ~bound;
+          true)
+  | None -> ());
   t
 
 let create_app t ~name =
@@ -494,13 +585,16 @@ let attach_be_app t ?alloc app ~chunk ~workers =
       match ev.Allocator.action with
       | Allocator.Granted -> Trace.Core_grant
       | Allocator.Reclaimed | Allocator.Yielded -> Trace.Core_reclaim
+      | Allocator.Degraded -> Trace.Alloc_degrade
+      | Allocator.Recovered -> Trace.Alloc_recover
     in
     trace_instant t ~core:t.cores.(0) kind
       (Printf.sprintf "%s=%d" ev.Allocator.app_name ev.Allocator.granted)
   in
   let alloc =
     Allocator.create ~engine:t.engine ~policy:cfg.Allocator.policy
-      ~interval:cfg.Allocator.interval ~total_cores:total ~on_event ()
+      ~interval:cfg.Allocator.interval ~total_cores:total ~on_event
+      ?degrade_after:cfg.Allocator.degrade_after ()
   in
   Allocator.register alloc ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
     ~bounds:{ Allocator.guaranteed = 0; burstable = total }
@@ -543,7 +637,55 @@ let pick_spawn_cpu t =
       t.rr_spawn <- t.rr_spawn + 1;
       core
 
-let spawn t app ~name ?cpu ?arrival ?service ?(record = true) body =
+(* ---- deadlines ----------------------------------------------------------- *)
+
+let deadline_expired t (task : Task.t) ~on_drop =
+  let app = find_app t task.Task.app in
+  app.App.tasks_alive <- app.App.tasks_alive - 1;
+  Summary.record_drop app.App.summary;
+  t.deadline_drops <- t.deadline_drops + 1;
+  trace_instant t ~core:(max 0 task.Task.last_core) Trace.Deadline_drop
+    task.Task.name;
+  match on_drop with Some f -> f task | None -> ()
+
+let kill t ?on_drop (task : Task.t) =
+  if not task.Task.killed then
+    match task.Task.state with
+    | Task.Exited -> ()
+    | Task.Running -> (
+        match
+          Array.find_opt
+            (fun cpu ->
+              match cpu.current with Some cur -> cur == task | None -> false)
+            t.cpus
+        with
+        | Some cpu ->
+            (match cpu.completion with
+            | Some h ->
+                Eventq.cancel h;
+                cpu.completion <- None
+            | None -> ());
+            task.Task.killed <- true;
+            task.Task.state <- Task.Exited;
+            account t cpu;
+            cpu.current <- None;
+            t.policy.task_terminate task;
+            deadline_expired t task ~on_drop;
+            schedule t cpu ~prev:(Some task)
+        | None -> ())
+    | Task.Runnable ->
+        (* Somewhere in a runqueue: account the drop now, discard lazily at
+           the next dequeue (see [schedule]). *)
+        task.Task.killed <- true;
+        deadline_expired t task ~on_drop
+    | Task.Blocked ->
+        task.Task.killed <- true;
+        task.Task.state <- Task.Exited;
+        t.policy.task_terminate task;
+        deadline_expired t task ~on_drop
+
+let spawn t app ~name ?cpu ?arrival ?service ?(record = true) ?deadline ?on_drop
+    body =
   let arrival = match arrival with Some a -> a | None -> now t in
   let service = match service with Some s -> s | None -> 0 in
   let on_exit =
@@ -563,6 +705,11 @@ let spawn t app ~name ?cpu ?arrival ?service ?(record = true) body =
   t.policy.task_init task;
   t.policy.task_enqueue ~cpu:target ~reason:Sched_ops.Enq_new task;
   if is_idle t ~core:target then kick_core t target else kick_some_idle t;
+  (match deadline with
+  | Some d ->
+      if d <= 0 then invalid_arg "Percpu.spawn: deadline must be positive";
+      ignore (Engine.after t.engine d (fun () -> kill t ?on_drop task))
+  | None -> ());
   task
 
 (* §6 "Blocking events": the running task hits a page fault (or a blocking
@@ -582,7 +729,9 @@ let rec fault_current t ~core ~duration =
       task.state <- Task.Blocked;
       account t cpu;
       cpu.current <- None;
-      t.policy.task_block ~cpu:core task;
+      (* BE tasks live outside the LC policy's runqueues; telling the
+         policy about one would leak it into LC dispatch at wakeup. *)
+      if not (is_be t task) then t.policy.task_block ~cpu:core task;
       trace_instant t ~core Trace.Fault task.Task.name;
       ignore (Engine.after t.engine duration (fun () -> wakeup_task t task));
       schedule t cpu ~prev:(Some task);
@@ -596,11 +745,19 @@ and wakeup_task t ?waker_cpu task =
       task.Task.resuming <- true;
       task.Task.wake_time <- Some (now t);
       trace_instant t ~core:task.Task.last_core Trace.Wakeup task.Task.name;
-      let waker_cpu =
-        match waker_cpu with Some c when c >= 0 -> c | _ -> task.Task.last_core
-      in
-      let target = t.policy.task_wakeup ~waker_cpu task in
-      if is_idle t ~core:target then kick_core t target else kick_some_idle t
+      if is_be t task then begin
+        (* Back to the BE queue, never the LC policy's runqueues. *)
+        Runqueue.push_tail t.be_queue task;
+        if is_idle t ~core:task.Task.last_core then
+          kick_core t task.Task.last_core
+        else kick_some_idle t
+      end
+      else
+        let waker_cpu =
+          match waker_cpu with Some c when c >= 0 -> c | _ -> task.Task.last_core
+        in
+        let target = t.policy.task_wakeup ~waker_cpu task in
+        if is_idle t ~core:target then kick_core t target else kick_some_idle t
   | Task.Running | Task.Runnable -> task.Task.pending_wake <- true
   | Task.Exited -> ()
 
@@ -638,6 +795,9 @@ let task_switches t = t.switches
 let app_switches t = t.app_switches
 let preemptions t = t.preempts
 let timer_ticks t = t.ticks
+let watchdog_rescues t = t.rescues
+let rescue_detection t = t.rescue_detect
+let deadline_drops t = t.deadline_drops
 
 let total_busy_ns t =
   List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps

@@ -31,6 +31,7 @@ val create :
   ?timer_hz:int ->
   ?preemption:bool ->
   ?park:Time.t * Time.t ->
+  ?watchdog:Time.t ->
   Sched_ops.ctor ->
   t
 (** Build the runtime on the isolated [cores].  When [preemption] (default
@@ -43,7 +44,16 @@ val create :
     and handing it back to the runtime costs [resume_cost] extra on the
     next dispatch — the "frequent core adjustments, yielding and wake-ups"
     the paper blames for Shenango's low-load tail (§5.3).  Skyloft itself
-    does not park (idle loops keep spinning). *)
+    does not park (idle loops keep spinning).
+
+    [watchdog] arms the per-core watchdog: a periodic scan (twice per
+    bound) that detects cores stuck on one task for longer than the bound
+    with no scheduling point — a lost timer tick, a disabled preemption
+    path, a poisoned task — and rescues them: re-arm the LAPIC timer,
+    re-post the pending-tick user IPI if the receiver is masked for timer
+    delegation, and force a preemption.  Rescues are counted and traced
+    ({!watchdog_rescues}, {!rescue_detection}).  Cores inside a host-kernel
+    steal ({!Kmod.steal_core}) are exempt until hand-back. *)
 
 val create_app : t -> name:string -> App.t
 (** Launch an application: registers one parked kernel thread per isolated
@@ -74,10 +84,24 @@ val be_preemptions : t -> int
 
 val spawn :
   t -> App.t -> name:string -> ?cpu:int -> ?arrival:Time.t -> ?service:Time.t ->
-  ?record:bool -> Coro.t -> Task.t
+  ?record:bool -> ?deadline:Time.t -> ?on_drop:(Task.t -> unit) -> Coro.t ->
+  Task.t
 (** Create a task.  [cpu] pins initial placement (default: an idle core,
     else round-robin).  When [record] (default true) the task's completion
-    is recorded into the application's {!App.t.summary}. *)
+    is recorded into the application's {!App.t.summary}.
+
+    [deadline] arms a kill timer [deadline] ns from now: if the task has
+    not exited by then it is forcibly terminated ({!kill}), counted as a
+    deadline drop in the app's summary, and [on_drop] is called — the
+    task neither completes nor lingers, so every spawn is accounted for
+    exactly once. *)
+
+val kill : t -> ?on_drop:(Task.t -> unit) -> Task.t -> unit
+(** Forcibly terminate a task wherever it is: running (preempted off its
+    core and discarded), runnable (flagged; discarded at the next
+    dequeue), or blocked (never woken).  A no-op on exited or
+    already-killed tasks.  Counted in {!deadline_drops} and the app
+    summary's drop count. *)
 
 val wakeup : t -> ?waker_cpu:int -> Task.t -> unit
 (** [task_wakeup]: make a blocked task runnable again (placement is the
@@ -118,6 +142,17 @@ val task_switches : t -> int
 val app_switches : t -> int
 val preemptions : t -> int
 val timer_ticks : t -> int
+
+val watchdog_rescues : t -> int
+(** Stuck cores rescued by the watchdog (see {!create}'s [watchdog]). *)
+
+val rescue_detection : t -> Histogram.t
+(** Detection latency per rescue: time past the watchdog bound before the
+    scan noticed the stuck core. *)
+
+val deadline_drops : t -> int
+(** Tasks killed by their spawn deadline (see {!spawn}). *)
+
 val total_busy_ns : t -> int
 (** Sum of per-application busy time. *)
 

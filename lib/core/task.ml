@@ -24,6 +24,7 @@ type t = {
   mutable arrival : Time.t;
   mutable service : Time.t;
   mutable on_exit : (t -> unit) option;
+  mutable killed : bool;
 }
 
 let counter = ref 0
@@ -51,6 +52,7 @@ let create ~app ~name ?(arrival = 0) ?(service = 0) ?on_exit body =
     arrival;
     service;
     on_exit;
+    killed = false;
   }
 
 let is_runnable t = match t.state with Runnable | Running -> true | Blocked | Exited -> false

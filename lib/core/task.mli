@@ -42,6 +42,9 @@ type t = {
   mutable arrival : Time.t;  (** request arrival (workload metadata) *)
   mutable service : Time.t;  (** total service demand (workload metadata) *)
   mutable on_exit : (t -> unit) option;  (** completion callback *)
+  mutable killed : bool;
+      (** killed at its deadline while in a runqueue; the runtime discards
+          it lazily at the next dequeue instead of searching every queue *)
 }
 
 val create :

@@ -1,0 +1,164 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Rng = Skyloft_sim.Rng
+module Machine = Skyloft_hw.Machine
+module Vectors = Skyloft_hw.Vectors
+module Kmod = Skyloft_kernel.Kmod
+module Nic = Skyloft_net.Nic
+module Trace = Skyloft_stats.Trace
+
+type target = {
+  machine : Machine.t;
+  kmod : Kmod.t option;
+  nic : Nic.t option;
+  cores : int list;
+  poison : (core:int -> service:Time.t -> unit) option;
+}
+
+type event = { at : Time.t; kind : string; core : int }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  trace : Trace.t option;
+  log : event Queue.t;
+  counts : (string, int) Hashtbl.t;
+  mutable armed : bool;
+}
+
+let log_cap = 65536
+
+let create ~engine ~rng ?trace () =
+  {
+    engine;
+    rng;
+    trace;
+    log = Queue.create ();
+    counts = Hashtbl.create 8;
+    armed = false;
+  }
+
+let now t = Engine.now t.engine
+
+let record t ~kind ~core =
+  Hashtbl.replace t.counts kind
+    (1 + Option.value (Hashtbl.find_opt t.counts kind) ~default:0);
+  if Queue.length t.log >= log_cap then ignore (Queue.pop t.log);
+  Queue.push { at = now t; kind; core } t.log;
+  match t.trace with
+  | Some trace ->
+      Trace.instant trace ~core:(max 0 core) ~at:(now t) Trace.Inject ~name:kind
+  | None -> ()
+
+(* One periodic loop per scheduled plan: fire every [period] inside the
+   window, stop for good once it expires. *)
+let periodic t ~(window : Plan.window) ~period fire =
+  let start = max (window.Plan.start + period) (now t + period) in
+  Engine.every t.engine ~period ~start (fun () ->
+      if Plan.expired window ~at:(now t) then false
+      else begin
+        if Plan.active window ~at:(now t) then fire ();
+        true
+      end)
+
+let pick_core t cores =
+  let arr = Array.of_list cores in
+  arr.(Rng.int t.rng (Array.length arr))
+
+let arm t target plans =
+  if t.armed then invalid_arg "Injector.arm: already armed";
+  t.armed <- true;
+  if target.cores = [] then invalid_arg "Injector.arm: no target cores";
+  let ipi_plans =
+    List.filter_map
+      (fun (p : Plan.t) ->
+        match p.Plan.spec with
+        | Plan.Ipi_loss l -> Some (p.Plan.window, l)
+        | _ -> None)
+      plans
+  in
+  (* All IPI-loss plans share one machine-level hook; the first plan whose
+     window is active decides the fate of each queried delivery.  The hook
+     only touches notification and delegated-timer vectors on target cores:
+     everything else delivers untouched. *)
+  if ipi_plans <> [] then
+    Machine.set_fault_hook target.machine (fun ~core vector ->
+        let applicable =
+          (vector = Vectors.uintr_notification || vector = Vectors.timer)
+          && List.mem core target.cores
+        in
+        if not applicable then Machine.Deliver
+        else
+          match
+            List.find_opt (fun (w, _) -> Plan.active w ~at:(now t)) ipi_plans
+          with
+          | None -> Machine.Deliver
+          | Some (_, { Plan.p_drop; p_delay; delay }) ->
+              if p_drop > 0.0 && Rng.uniform t.rng < p_drop then begin
+                record t ~kind:"ipi-drop" ~core;
+                Machine.Drop
+              end
+              else if p_delay > 0.0 && Rng.uniform t.rng < p_delay then begin
+                record t ~kind:"ipi-delay" ~core;
+                Machine.Delay delay
+              end
+              else Machine.Deliver);
+  let packet_plans =
+    List.filter_map
+      (fun (p : Plan.t) ->
+        match p.Plan.spec with
+        | Plan.Packet_loss { p_drop } -> Some (p.Plan.window, p_drop)
+        | _ -> None)
+      plans
+  in
+  if packet_plans <> [] then begin
+    let nic =
+      match target.nic with
+      | Some nic -> nic
+      | None -> invalid_arg "Injector.arm: packet-loss plan without a NIC"
+    in
+    Nic.set_loss nic
+      (Some
+         (fun _pkt ->
+           List.exists
+             (fun (w, p_drop) ->
+               Plan.active w ~at:(now t)
+               && Rng.uniform t.rng < p_drop
+               &&
+               (record t ~kind:"pkt-drop" ~core:(-1);
+                true))
+             packet_plans))
+  end;
+  List.iter
+    (fun (p : Plan.t) ->
+      match p.Plan.spec with
+      | Plan.Ipi_loss _ | Plan.Packet_loss _ -> ()
+      | Plan.Core_steal { period; duration } ->
+          let kmod =
+            match target.kmod with
+            | Some kmod -> kmod
+            | None -> invalid_arg "Injector.arm: core-steal plan without a Kmod"
+          in
+          periodic t ~window:p.Plan.window ~period (fun () ->
+              let core = pick_core t target.cores in
+              record t ~kind:"core-steal" ~core;
+              Kmod.steal_core kmod ~core ~duration)
+      | Plan.Poison { period; service } ->
+          let poison =
+            match target.poison with
+            | Some f -> f
+            | None ->
+                invalid_arg "Injector.arm: poison plan without a spawn callback"
+          in
+          periodic t ~window:p.Plan.window ~period (fun () ->
+              let core = pick_core t target.cores in
+              record t ~kind:"poison" ~core;
+              poison ~core ~service))
+    plans
+
+let injected t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
+
+let injected_of t ~kind =
+  Option.value (Hashtbl.find_opt t.counts kind) ~default:0
+
+let events t = List.of_seq (Queue.to_seq t.log)

@@ -1,0 +1,50 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Rng = Skyloft_sim.Rng
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Nic = Skyloft_net.Nic
+module Trace = Skyloft_stats.Trace
+
+(** Deterministic fault injector: schedules the fault {!Plan}s against a
+    concrete target (machine, kernel module, NIC, cores).
+
+    Determinism contract: give the injector its own {!Rng} split (via
+    [Engine.split_rng]) and it draws from nothing else; when no plans are
+    armed it draws nothing and schedules nothing, so a fault-free run is
+    bit-identical to one built without an injector at all.  Every injected
+    fault is counted, appended to a bounded event log, and — when a trace
+    is attached — emitted as a {!Trace.Inject} instant, so recovery
+    latencies can be read straight off the timeline. *)
+
+type target = {
+  machine : Machine.t;
+  kmod : Kmod.t option;  (** required by [Core_steal] plans *)
+  nic : Nic.t option;  (** required by [Packet_loss] plans *)
+  cores : int list;
+      (** cores eligible for IPI loss, steals, and poisoned tasks *)
+  poison : (core:int -> service:Time.t -> unit) option;
+      (** how to land a never-yielding task on a core (required by
+          [Poison] plans): the runtime spawns a [service]-long compute
+          with no scheduling point *)
+}
+
+type event = { at : Time.t; kind : string; core : int }
+(** [core] is [-1] for faults without a core (packet drops). *)
+
+type t
+
+val create : engine:Engine.t -> rng:Rng.t -> ?trace:Trace.t -> unit -> t
+
+val arm : t -> target -> Plan.t list -> unit
+(** Install hooks and periodic loops for every plan.  May be called once
+    per injector; raises [Invalid_argument] on a second call, or when a
+    plan needs a target component ([kmod], [nic], [poison]) that is
+    [None].  Fault kinds recorded: ["ipi-drop"], ["ipi-delay"],
+    ["core-steal"], ["poison"], ["pkt-drop"]. *)
+
+val injected : t -> int
+(** Total faults injected so far. *)
+
+val injected_of : t -> kind:string -> int
+val events : t -> event list

@@ -1,0 +1,62 @@
+module Time = Skyloft_sim.Time
+
+type window = { start : Time.t; stop : Time.t option }
+
+let window ?(start = 0) ?stop () =
+  if start < 0 then invalid_arg "Plan.window: start must be >= 0";
+  (match stop with
+  | Some s when s <= start -> invalid_arg "Plan.window: stop must be after start"
+  | Some _ | None -> ());
+  { start; stop }
+
+let always = { start = 0; stop = None }
+
+let active w ~at =
+  at >= w.start && match w.stop with Some s -> at < s | None -> true
+
+let expired w ~at = match w.stop with Some s -> at >= s | None -> false
+
+type ipi_loss = { p_drop : float; p_delay : float; delay : Time.t }
+
+type spec =
+  | Ipi_loss of ipi_loss
+  | Core_steal of { period : Time.t; duration : Time.t }
+  | Poison of { period : Time.t; service : Time.t }
+  | Packet_loss of { p_drop : float }
+
+type t = { window : window; spec : spec }
+
+let check_prob what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Plan.%s: probability outside [0, 1]" what)
+
+let ipi_loss ?(window = always) ?(p_drop = 0.0) ?(p_delay = 0.0)
+    ?(delay = Time.us 50) () =
+  check_prob "ipi_loss" p_drop;
+  check_prob "ipi_loss" p_delay;
+  if delay <= 0 then invalid_arg "Plan.ipi_loss: delay must be positive";
+  if p_drop = 0.0 && p_delay = 0.0 then
+    invalid_arg "Plan.ipi_loss: at least one probability must be non-zero";
+  { window; spec = Ipi_loss { p_drop; p_delay; delay } }
+
+let core_steal ?(window = always) ~period ~duration () =
+  if period <= 0 then invalid_arg "Plan.core_steal: period must be positive";
+  if duration <= 0 then invalid_arg "Plan.core_steal: duration must be positive";
+  { window; spec = Core_steal { period; duration } }
+
+let poison ?(window = always) ~period ~service () =
+  if period <= 0 then invalid_arg "Plan.poison: period must be positive";
+  if service <= 0 then invalid_arg "Plan.poison: service must be positive";
+  { window; spec = Poison { period; service } }
+
+let packet_loss ?(window = always) ~p_drop () =
+  check_prob "packet_loss" p_drop;
+  if p_drop = 0.0 then invalid_arg "Plan.packet_loss: p_drop must be non-zero";
+  { window; spec = Packet_loss { p_drop } }
+
+let name t =
+  match t.spec with
+  | Ipi_loss _ -> "ipi-loss"
+  | Core_steal _ -> "core-steal"
+  | Poison _ -> "poison"
+  | Packet_loss _ -> "packet-loss"

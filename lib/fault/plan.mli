@@ -1,0 +1,58 @@
+module Time = Skyloft_sim.Time
+
+(** Declarative fault plans: what goes wrong, when, and how hard.
+
+    A plan is pure data — nothing happens until {!Injector.arm} schedules
+    it against a target.  Plans compose: arm a list of them and each
+    contributes its fault class inside its activity {!window}.  All
+    randomness is drawn from the injector's own split RNG, so a faulty run
+    replays bit-for-bit from the same seed and a disabled injector makes
+    zero draws (leaving every other stream untouched). *)
+
+type window = { start : Time.t; stop : Time.t option }
+(** Half-open activity interval [\[start, stop)]; [stop = None] means
+    "until the end of the run". *)
+
+val window : ?start:Time.t -> ?stop:Time.t -> unit -> window
+val always : window
+
+val active : window -> at:Time.t -> bool
+val expired : window -> at:Time.t -> bool
+
+type ipi_loss = { p_drop : float; p_delay : float; delay : Time.t }
+
+type spec =
+  | Ipi_loss of ipi_loss
+      (** Each user-IPI notification / delegated timer tick is dropped with
+          [p_drop], else delayed by [delay] with [p_delay] — the §3.2
+          lost-wakeup window made manifest. *)
+  | Core_steal of { period : Time.t; duration : Time.t }
+      (** Every [period], the host kernel steals one target core for
+          [duration] (imperfect isolation: bound workqueues, vmstat, RT
+          throttling). *)
+  | Poison of { period : Time.t; service : Time.t }
+      (** Every [period], a poisoned task that computes for [service]
+          without ever yielding lands on one target core — head-of-line
+          blocking the watchdog must break. *)
+  | Packet_loss of { p_drop : float }
+      (** Each arriving packet is discarded at the wire with [p_drop]. *)
+
+type t = { window : window; spec : spec }
+
+(** Constructors validate their parameters and raise [Invalid_argument]
+    on nonsense (probabilities outside [0, 1], non-positive periods). *)
+
+val ipi_loss :
+  ?window:window ->
+  ?p_drop:float ->
+  ?p_delay:float ->
+  ?delay:Time.t ->
+  unit ->
+  t
+(** Default delay 50 µs; at least one probability must be non-zero. *)
+
+val core_steal : ?window:window -> period:Time.t -> duration:Time.t -> unit -> t
+val poison : ?window:window -> period:Time.t -> service:Time.t -> unit -> t
+val packet_loss : ?window:window -> p_drop:float -> unit -> t
+
+val name : t -> string

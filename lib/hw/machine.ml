@@ -26,7 +26,16 @@ type core = {
   mutable dropped : int;
 }
 
-type t = { engine : Engine.t; topo : Topology.t; cores : core array }
+type fate = Deliver | Drop | Delay of Time.t
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  cores : core array;
+  mutable fault_hook : (core:int -> vector -> fate) option;
+  mutable injected_ipi_drops : int;
+  mutable injected_ipi_delays : int;
+}
 
 let create engine topo =
   let make_core id =
@@ -44,7 +53,14 @@ let create engine topo =
       dropped = 0;
     }
   in
-  { engine; topo; cores = Array.init (Topology.total_cores topo) make_core }
+  {
+    engine;
+    topo;
+    cores = Array.init (Topology.total_cores topo) make_core;
+    fault_hook = None;
+    injected_ipi_drops = 0;
+    injected_ipi_delays = 0;
+  }
 
 let engine t = t.engine
 let topology t = t.topo
@@ -96,6 +112,29 @@ let unmask_interrupts c =
   List.iter (fun v -> if not c.masked then dispatch c v else c.pending <- v :: c.pending)
     queued
 
+(* Fault injection (lib/fault): an optional hook decides the fate of each
+   interrupt about to be delivered.  Without a hook every call is [Deliver]
+   with zero extra work, so fault-free runs are bit-identical to a build
+   that never heard of injection. *)
+let set_fault_hook t f = t.fault_hook <- Some f
+let clear_fault_hook t = t.fault_hook <- None
+
+let fault_fate t ~core v =
+  match t.fault_hook with
+  | None -> Deliver
+  | Some f -> (
+      match f ~core v with
+      | Deliver -> Deliver
+      | Drop ->
+          t.injected_ipi_drops <- t.injected_ipi_drops + 1;
+          Drop
+      | Delay d ->
+          t.injected_ipi_delays <- t.injected_ipi_delays + 1;
+          Delay d)
+
+let injected_ipi_drops t = t.injected_ipi_drops
+let injected_ipi_delays t = t.injected_ipi_delays
+
 let send_ipi t ~src ~dst v =
   let cross = Topology.cross_numa t.topo src dst in
   let latency =
@@ -103,7 +142,12 @@ let send_ipi t ~src ~dst v =
     else Costs.kipi_delivery_ns
   in
   let target = core t dst in
-  ignore (Engine.after t.engine latency (fun () -> raise_vector target v))
+  match fault_fate t ~core:dst v with
+  | Drop -> ()
+  | Delay d ->
+      ignore (Engine.after t.engine (latency + d) (fun () -> raise_vector target v))
+  | Deliver ->
+      ignore (Engine.after t.engine latency (fun () -> raise_vector target v))
 
 let timer_stop t ~core:i =
   let c = core t i in
@@ -119,14 +163,26 @@ let timer_set_periodic t ~core:i ~hz =
   let period = max 1 (1_000_000_000 / hz) in
   Engine.every t.engine ~period (fun () ->
       if c.timer_gen = gen then begin
-        raise_vector c Vectors.timer;
+        (* LAPIC ticks are local, but the injector may still lose or delay
+           them — the imperfect-isolation failure mode of delegated timers. *)
+        (match fault_fate t ~core:i Vectors.timer with
+        | Drop -> ()
+        | Delay d ->
+            ignore (Engine.after t.engine d (fun () -> raise_vector c Vectors.timer))
+        | Deliver -> raise_vector c Vectors.timer);
         true
       end
       else false)
 
 let timer_one_shot t ~core:i ~after =
   let c = core t i in
-  ignore (Engine.after t.engine after (fun () -> raise_vector c Vectors.timer))
+  ignore
+    (Engine.after t.engine after (fun () ->
+         match fault_fate t ~core:i Vectors.timer with
+         | Drop -> ()
+         | Delay d ->
+             ignore (Engine.after t.engine d (fun () -> raise_vector c Vectors.timer))
+         | Deliver -> raise_vector c Vectors.timer))
 
 let timer_hz c = c.hz
 

@@ -62,6 +62,30 @@ val interrupts_masked : core -> bool
 val send_ipi : t -> src:int -> dst:int -> vector -> unit
 (** Kernel IPI: arrives at [dst] after the kernel-IPI delivery latency. *)
 
+(** {1 Interrupt fault injection}
+
+    An optional machine-wide hook (installed by the {!Skyloft_fault}
+    injector) decides the fate of every interrupt about to be delivered:
+    IPIs in {!send_ipi} and local LAPIC timer expiries.  Without a hook
+    nothing changes — no extra events, no RNG draws — so fault-free runs
+    stay bit-identical. *)
+
+type fate = Deliver | Drop | Delay of Time.t
+
+val set_fault_hook : t -> (core:int -> vector -> fate) -> unit
+(** Install the interrupt-fate hook.  [core] is the delivery target. *)
+
+val clear_fault_hook : t -> unit
+
+val fault_fate : t -> core:int -> vector -> fate
+(** Consult the hook (counting drops/delays); [Deliver] when none is
+    installed.  Runtimes that model notification latency outside
+    {!send_ipi} (the centralized dispatcher) call this on their modelled
+    delivery path so injected IPI loss reaches them too. *)
+
+val injected_ipi_drops : t -> int
+val injected_ipi_delays : t -> int
+
 (** {1 LAPIC timer} *)
 
 val timer_set_periodic : t -> core:int -> hz:int -> unit

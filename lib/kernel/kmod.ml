@@ -1,4 +1,5 @@
 module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
 module Machine = Skyloft_hw.Machine
 module Costs = Skyloft_hw.Costs
 module Vectors = Skyloft_hw.Vectors
@@ -15,9 +16,22 @@ type kthread = {
   mutable state : state;
 }
 
-type t = { machine : Machine.t; mutable threads : kthread list }
+type t = {
+  machine : Machine.t;
+  mutable threads : kthread list;
+  steal_handlers : (int, duration:Time.t -> unit) Hashtbl.t;
+  stolen : (int, Time.t) Hashtbl.t;  (* core -> end of the current steal *)
+  mutable steals : int;
+}
 
-let create machine = { machine; threads = [] }
+let create machine =
+  {
+    machine;
+    threads = [];
+    steal_handlers = Hashtbl.create 8;
+    stolen = Hashtbl.create 8;
+    steals = 0;
+  }
 
 let violation fmt = Format.kasprintf (fun s -> raise (Binding_rule_violation s)) fmt
 
@@ -92,3 +106,36 @@ let timer_enable _t kt =
 let timer_set_hz t ~core ~hz =
   Machine.timer_set_periodic t.machine ~core ~hz;
   Time.of_cycles Costs.lapic_timer_program
+
+(* ---- imperfect isolation: the host kernel steals a core ---------------- *)
+
+let on_steal t ~core f = Hashtbl.replace t.steal_handlers core f
+let stolen_until t ~core = Hashtbl.find_opt t.stolen core
+
+let steal_core t ~core ~duration =
+  if duration <= 0 then invalid_arg "Kmod.steal_core: duration must be positive";
+  if core < 0 || core >= Machine.n_cores t.machine then
+    invalid_arg "Kmod.steal_core: bad core";
+  t.steals <- t.steals + 1;
+  let engine = Machine.engine t.machine in
+  let until =
+    let fresh = Engine.now engine + duration in
+    match Hashtbl.find_opt t.stolen core with
+    | Some existing -> max existing fresh  (* overlapping steals extend *)
+    | None -> fresh
+  in
+  Hashtbl.replace t.stolen core until;
+  let c = Machine.core t.machine core in
+  Machine.mask_interrupts c;
+  (match Hashtbl.find_opt t.steal_handlers core with
+  | Some f -> f ~duration
+  | None -> ());
+  ignore
+    (Engine.at engine until (fun () ->
+         (* Only the latest steal's expiry hands the core back. *)
+         if Hashtbl.find_opt t.stolen core = Some until then begin
+           Hashtbl.remove t.stolen core;
+           Machine.unmask_interrupts c
+         end))
+
+let steals t = t.steals

@@ -63,3 +63,28 @@ val timer_enable : t -> kthread -> unit
 val timer_set_hz : t -> core:int -> hz:int -> Time.t
 (** [skyloft_timer_set_hz]: program the core's LAPIC timer.  Returns the
     MSR-write cost. *)
+
+(** {1 Imperfect isolation (fault injection)}
+
+    In practice "isolated" cores are not: the host kernel can still run
+    bound workqueues, vmstat updates, or an RT throttling tick on them.
+    {!steal_core} models the core vanishing for a bounded interval —
+    interrupts are masked for the duration (arriving vectors queue and
+    replay at hand-back, exactly like a real kernel-mode burst), and the
+    owning runtime's registered handler is told so it can freeze the
+    running task's progress. *)
+
+val steal_core : t -> core:int -> duration:Time.t -> unit
+(** The host kernel takes [core] for [duration] nanoseconds starting now.
+    Overlapping steals extend the outage rather than ending it early. *)
+
+val on_steal : t -> core:int -> (duration:Time.t -> unit) -> unit
+(** Register the runtime-side reaction for steals of [core] (at most one;
+    later registrations replace earlier ones).  Called synchronously at
+    the start of each steal. *)
+
+val stolen_until : t -> core:int -> Time.t option
+(** End of the steal currently in progress on [core], if any. *)
+
+val steals : t -> int
+(** Total {!steal_core} invocations so far. *)

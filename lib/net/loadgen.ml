@@ -23,6 +23,24 @@ let poisson engine ~rng ~rate_rps ~service ?start ~duration ?(kind = fun _ -> "r
   in
   arrive (start + max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)))
 
+let retrying engine ?(budget = 3) ?(backoff = Time.us 100) ~attempt give_up =
+  if budget < 1 then invalid_arg "Loadgen.retrying: budget must be >= 1";
+  if backoff < 0 then invalid_arg "Loadgen.retrying: backoff must be >= 0";
+  let rec go k =
+    (* One outcome per attempt: a late failure signal after a success (or
+       a duplicate callback) must not trigger a spurious retry. *)
+    let finished = ref false in
+    attempt k (fun ok ->
+        if not !finished then begin
+          finished := true;
+          if not ok then
+            if k + 1 < budget then
+              ignore (Engine.after engine (backoff * (1 lsl k)) (fun () -> go (k + 1)))
+            else give_up ()
+        end)
+  in
+  go 0
+
 let uniform_closed engine ~rng ~interval ~count ~service sink =
   if interval <= 0 then invalid_arg "Loadgen.uniform_closed: interval must be positive";
   for i = 0 to count - 1 do

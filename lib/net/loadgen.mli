@@ -22,6 +22,22 @@ val poisson :
     [service], a random flow id, and a kind from [kind] (default "req"),
     then is passed to the sink at its arrival time. *)
 
+val retrying :
+  Engine.t ->
+  ?budget:int ->
+  ?backoff:Time.t ->
+  attempt:(int -> (bool -> unit) -> unit) ->
+  (unit -> unit) ->
+  unit
+(** Client-side retry with exponential backoff: [attempt k done_] issues
+    try number [k] (0-based) and must eventually call [done_ ok] exactly
+    once (extra calls are ignored).  On failure the next try fires after
+    [backoff * 2{^k}] (default 100 µs base), up to [budget] tries total
+    (default 3); when the budget is exhausted [give_up] runs instead —
+    so every request ends in exactly one of success or give-up, never
+    silence.  Used with per-task deadlines to keep request accounting
+    lossless under injected faults. *)
+
 val uniform_closed :
   Engine.t ->
   rng:Rng.t ->

@@ -15,6 +15,8 @@ type t = {
   poll_cost : Time.t;
   mode : mode;
   mutable received : int;
+  mutable loss : (Packet.t -> bool) option;  (* fault injection: wire loss *)
+  mutable injected_drops : int;
 }
 
 let drain t ~queue f =
@@ -42,6 +44,8 @@ let create engine ~queues ?(ring_capacity = 1024) ?(poll_cost = 120) ?(mode = Sp
       poll_cost;
       mode;
       received = 0;
+      loss = None;
+      injected_drops = 0;
     }
   in
   (match mode with
@@ -60,8 +64,13 @@ let on_packet t ~queue f =
   if queue < 0 || queue >= Array.length t.rings then invalid_arg "Nic.on_packet: bad queue";
   t.consumers.(queue) <- Some f
 
-let rx t pkt =
+let rec rx t pkt =
   t.received <- t.received + 1;
+  match t.loss with
+  | Some lost when lost pkt -> t.injected_drops <- t.injected_drops + 1
+  | Some _ | None -> rx_steer t pkt
+
+and rx_steer t pkt =
   let queue = Rss.queue_of_flow ~queues:(Array.length t.rings) pkt.Packet.flow in
   let ring = t.rings.(queue) in
   let was_empty = Ring.is_empty ring in
@@ -85,6 +94,8 @@ let rx t pkt =
           | None -> ()
         end
 
+let set_loss t f = t.loss <- f
 let queues t = Array.length t.rings
 let drops t = Array.fold_left (fun acc ring -> acc + Ring.dropped ring) 0 t.rings
 let received t = t.received
+let injected_drops t = t.injected_drops

@@ -43,5 +43,18 @@ val drain : t -> queue:int -> (Packet.t -> unit) -> int
     the number drained.  This is the user-space driver path for [Msi]. *)
 
 val queues : t -> int
+
 val drops : t -> int
+(** Packets lost to full receive rings (overflow). *)
+
 val received : t -> int
+
+(** {1 Fault injection} *)
+
+val set_loss : t -> (Packet.t -> bool) option -> unit
+(** Install (or clear) a wire-loss predicate: a packet for which it
+    returns [true] is counted in {!injected_drops} and never reaches a
+    ring — the injected-fault analogue of {!drops}.  Used by
+    [Skyloft_fault] to model lossy links and NIC discards. *)
+
+val injected_drops : t -> int

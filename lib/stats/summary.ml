@@ -5,6 +5,7 @@ type t = {
   slowdown : Histogram.t;
   wakeup : Histogram.t;
   mutable requests : int;
+  mutable drops : int;
 }
 
 let create () =
@@ -13,6 +14,7 @@ let create () =
     slowdown = Histogram.create ();
     wakeup = Histogram.create ();
     requests = 0;
+    drops = 0;
   }
 
 let record_request t ~arrival ~completion ~service =
@@ -25,7 +27,9 @@ let record_request t ~arrival ~completion ~service =
   Histogram.record t.slowdown (max 1000 slowdown_x1000)
 
 let record_wakeup t v = Histogram.record t.wakeup v
+let record_drop t = t.drops <- t.drops + 1
 let requests t = t.requests
+let drops t = t.drops
 let latency t = t.latency
 let slowdown t = t.slowdown
 let wakeup t = t.wakeup
@@ -41,4 +45,5 @@ let merge_into ~src ~dst =
   Histogram.merge_into ~src:src.latency ~dst:dst.latency;
   Histogram.merge_into ~src:src.slowdown ~dst:dst.slowdown;
   Histogram.merge_into ~src:src.wakeup ~dst:dst.wakeup;
-  dst.requests <- dst.requests + src.requests
+  dst.requests <- dst.requests + src.requests;
+  dst.drops <- dst.drops + src.drops

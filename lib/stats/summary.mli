@@ -20,7 +20,14 @@ val record_request :
 val record_wakeup : t -> Time.t -> unit
 (** Record a wakeup-latency sample (schbench-style). *)
 
+val record_drop : t -> unit
+(** Count one request that was killed instead of completing (deadline
+    expiry).  Dropped requests contribute nothing to the latency
+    histograms — they are accounted separately so "lost" work is always
+    visible. *)
+
 val requests : t -> int
+val drops : t -> int
 val latency : t -> Histogram.t
 val slowdown : t -> Histogram.t
 val wakeup : t -> Histogram.t

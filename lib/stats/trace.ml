@@ -8,6 +8,12 @@ type instant_kind =
   | Fault
   | Core_grant
   | Core_reclaim
+  | Inject
+  | Watchdog_rescue
+  | Failover
+  | Deadline_drop
+  | Alloc_degrade
+  | Alloc_recover
 
 type event =
   | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }
@@ -46,6 +52,12 @@ let kind_name = function
   | Fault -> "fault"
   | Core_grant -> "core-grant"
   | Core_reclaim -> "core-reclaim"
+  | Inject -> "inject"
+  | Watchdog_rescue -> "watchdog-rescue"
+  | Failover -> "failover"
+  | Deadline_drop -> "deadline-drop"
+  | Alloc_degrade -> "alloc-degrade"
+  | Alloc_recover -> "alloc-recover"
 
 let escape s =
   let buf = Buffer.create (String.length s) in

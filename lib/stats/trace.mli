@@ -18,6 +18,12 @@ type instant_kind =
   | Fault  (** blocking event (page fault) *)
   | Core_grant  (** the core allocator granted a core to an application *)
   | Core_reclaim  (** the core allocator reclaimed a core *)
+  | Inject  (** a fault-injection plan fired (lib/fault) *)
+  | Watchdog_rescue  (** the per-core watchdog forced a scheduling point *)
+  | Failover  (** a stalled dispatcher was replaced by a promoted worker *)
+  | Deadline_drop  (** a task was killed at its deadline *)
+  | Alloc_degrade  (** the allocator fell back to its static policy *)
+  | Alloc_recover  (** the allocator left degraded mode *)
 
 val create : ?capacity:int -> unit -> t
 (** Keep at most [capacity] (default 100,000) most recent events. *)

@@ -1,0 +1,89 @@
+(* Determinism regression: the simulation — fault injection included — is
+   a pure function of the seed.  Two runs at the same seed must agree to
+   the byte (traces) and to the last counter (sweep points). *)
+
+open Alcotest
+module Engine = Skyloft_sim.Engine
+module Time = Skyloft_sim.Time
+module Rng = Skyloft_sim.Rng
+module Coro = Skyloft_sim.Coro
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Percpu = Skyloft.Percpu
+module Trace = Skyloft_stats.Trace
+module Plan = Skyloft_fault.Plan
+module Injector = Skyloft_fault.Injector
+module E = Skyloft_experiments
+
+(* A small per-CPU run with IPI loss, core steals and the watchdog armed,
+   fully traced; returns the rendered Chrome JSON. *)
+let traced_run ~seed =
+  (* app ids leak into the trace's pid fields; restart the process-wide
+     counter so both runs label the app identically *)
+  Skyloft.App.reset_ids ();
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Percpu.create machine kmod ~cores:[ 0; 1; 2; 3 ] ~watchdog:(Time.us 100)
+      (Skyloft_policies.Fifo.create ())
+  in
+  let trace = Trace.create () in
+  Percpu.set_trace rt trace;
+  let rng = Rng.create ~seed in
+  let inj = Injector.create ~engine ~rng ~trace () in
+  Injector.arm inj
+    { Injector.machine; kmod = Some kmod; nic = None; cores = [ 0; 1; 2; 3 ];
+      poison = None }
+    [
+      Plan.ipi_loss ~p_drop:0.3 ~p_delay:0.3 ~delay:(Time.us 20) ();
+      Plan.core_steal ~period:(Time.us 200) ~duration:(Time.us 50) ();
+    ];
+  let app = Percpu.create_app rt ~name:"a" in
+  for i = 0 to 39 do
+    ignore
+      (Engine.at engine (i * Time.us 25) (fun () ->
+           ignore
+             (Percpu.spawn rt app
+                ~name:(Printf.sprintf "t%d" i)
+                (Coro.Compute (Time.us 10 + (i mod 7 * Time.us 4), fun () -> Coro.Exit)))))
+  done;
+  Engine.run ~until:(Time.ms 3) engine;
+  (Trace.to_chrome_json trace, Injector.injected inj)
+
+let test_trace_byte_identical () =
+  let json1, injected1 = traced_run ~seed:1234 in
+  let json2, injected2 = traced_run ~seed:1234 in
+  check bool "faults were actually injected" true (injected1 > 0);
+  check int "same injection count" injected1 injected2;
+  check bool "traces byte-identical at the same seed" true
+    (String.equal json1 json2)
+
+let test_sweep_point_reproducible () =
+  let config = { E.Config.duration = Time.ms 5; seed = 11 } in
+  List.iter
+    (fun runtime ->
+      let p1 = E.Fault_sweep.run_point config ~runtime ~rate:0.05 in
+      let p2 = E.Fault_sweep.run_point config ~runtime ~rate:0.05 in
+      check bool
+        (Printf.sprintf "%s: identical point at the same seed"
+           p1.E.Fault_sweep.runtime)
+        true (p1 = p2))
+    E.Fault_sweep.runtimes
+
+let test_sweep_fault_free_reproducible () =
+  (* rate 0 arms nothing: the fault machinery present but disabled must
+     still be a pure function of the seed (no hidden RNG draws). *)
+  let config = { E.Config.duration = Time.ms 5; seed = 3 } in
+  let p1 = E.Fault_sweep.run_point config ~runtime:("percpu", E.Fault_sweep.Percore) ~rate:0.0 in
+  let p2 = E.Fault_sweep.run_point config ~runtime:("percpu", E.Fault_sweep.Percore) ~rate:0.0 in
+  check bool "fault-free runs identical" true (p1 = p2);
+  check int "nothing injected at rate 0" 0 p1.E.Fault_sweep.injected
+
+let suite =
+  [
+    test_case "trace bytes reproduce under faults" `Quick test_trace_byte_identical;
+    test_case "sweep point reproduces" `Slow test_sweep_point_reproducible;
+    test_case "fault-free sweep reproduces" `Quick test_sweep_fault_free_reproducible;
+  ]

@@ -201,6 +201,74 @@ let test_fault_on_idle_core () =
     (Percpu.fault_current rt ~core:0 ~duration:(Time.us 10));
   ignore engine
 
+let test_fault_last_runnable_task () =
+  (* Edge case: the faulting task is the only runnable task.  The core must
+     go idle for the fault window, then pick the task back up and finish
+     it — blocked-with-nothing-else must not wedge the core. *)
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Percpu.create machine kmod ~cores:[ 0 ] ~preemption:false
+      (Skyloft_policies.Fifo.create ())
+  in
+  let app = Percpu.create_app rt ~name:"a" in
+  let done_at = ref 0 in
+  ignore
+    (Percpu.spawn rt app ~name:"only"
+       (Coro.Compute (Time.us 100, fun () -> done_at := Engine.now engine; Coro.Exit)));
+  let idle_during_fault = ref false in
+  ignore
+    (Engine.at engine (Time.us 10) (fun () ->
+         check Alcotest.bool "fault accepted" true
+           (Percpu.fault_current rt ~core:0 ~duration:(Time.us 300))));
+  ignore
+    (Engine.at engine (Time.us 150) (fun () ->
+         idle_during_fault := Percpu.is_idle rt ~core:0));
+  Engine.run ~until:(Time.ms 2) engine;
+  check Alcotest.bool "core idled during the fault" true !idle_during_fault;
+  (* 10us ran + 300us fault + remaining 90us *)
+  check Alcotest.bool "task resumed and completed" true
+    (!done_at >= Time.us 400 && !done_at < Time.us 600)
+
+let test_fault_be_task_stays_out_of_lc_queues () =
+  (* Edge case: the fault hits a core inside a BE grant, i.e. the current
+     task is a best-effort batch worker.  The blocked BE task must come
+     back through the BE queue, not the LC policy's runqueues — and LC
+     work arriving during the fault window runs first. *)
+  let engine = Engine.create () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Percpu.create machine kmod ~cores:[ 0 ] ~preemption:false
+      (Skyloft_policies.Fifo.create ())
+  in
+  let lc = Percpu.create_app rt ~name:"lc" in
+  let be = Percpu.create_app rt ~name:"batch" in
+  Percpu.attach_be_app rt be ~chunk:(Time.us 50) ~workers:1;
+  Engine.run ~until:(Time.us 10) engine;
+  (* the BE worker owns the core; fault it for 200us *)
+  ignore
+    (Engine.at engine (Time.us 10) (fun () ->
+         check Alcotest.bool "BE task faulted" true
+           (Percpu.fault_current rt ~core:0 ~duration:(Time.us 200))));
+  let lc_done = ref 0 in
+  ignore
+    (Engine.at engine (Time.us 20) (fun () ->
+         ignore
+           (Percpu.spawn rt lc ~name:"req"
+              (Coro.Compute
+                 (Time.us 30, fun () -> lc_done := Engine.now engine; Coro.Exit)))));
+  Engine.run ~until:(Time.ms 3) engine;
+  (* LC work ran during the BE fault window *)
+  check Alcotest.bool "LC request completed during the fault" true
+    (!lc_done > 0 && !lc_done < Time.us 210);
+  (* the BE worker came back and kept accumulating busy time afterwards *)
+  let busy_at_wake = be.App.busy_ns in
+  Engine.run ~until:(Time.ms 4) engine;
+  check Alcotest.bool "BE task resumed after the fault" true
+    (be.App.busy_ns > busy_at_wake)
+
 (* ---- register_uvec validation ---- *)
 
 let test_register_uvec_reserved () =
@@ -228,5 +296,8 @@ let suite =
     Alcotest.test_case "nic: MSI coalescing" `Quick test_nic_msi_coalesces;
     Alcotest.test_case "fault: block and resume" `Quick test_fault_current_blocks_and_resumes;
     Alcotest.test_case "fault: idle core" `Quick test_fault_on_idle_core;
+    Alcotest.test_case "fault: last runnable task" `Quick test_fault_last_runnable_task;
+    Alcotest.test_case "fault: BE task in a BE grant" `Quick
+      test_fault_be_task_stays_out_of_lc_queues;
     Alcotest.test_case "uvec: reserved vectors" `Quick test_register_uvec_reserved;
   ]

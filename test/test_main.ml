@@ -12,6 +12,8 @@ let () =
       ("apps", Test_apps.suite);
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
+      ("fault", Test_fault.suite);
+      ("determinism", Test_determinism.suite);
       ("sync", Test_sync.suite);
       ("properties", Test_properties.suite);
       ("trace", Test_trace.suite);

@@ -325,6 +325,39 @@ let test_coro_forever_compute_block () =
   check Alcotest.bool "compute/block alternation" true
     (walk 5 (Coro.forever_compute_block 77))
 
+(* Lazy cancellation contract: cancelling a handle that already fired, or
+   one that was already cancelled (any number of times), changes nothing —
+   no callback is lost, replayed, or resurrected, and the engine keeps
+   working. *)
+let prop_cancel_idempotent =
+  QCheck.Test.make ~name:"Engine.cancel on fired/cancelled handles is a no-op"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 50) (pair (int_range 0 10_000) bool))
+    (fun evs ->
+      let engine = Engine.create () in
+      let fired = ref 0 in
+      let handles =
+        List.map
+          (fun (at, cancel) ->
+            let h = Engine.at engine at (fun () -> incr fired) in
+            if cancel then Engine.cancel h;
+            h)
+          evs
+      in
+      (* double-cancel before the run *)
+      List.iter2
+        (fun h (_, cancel) -> if cancel then Engine.cancel h)
+        handles evs;
+      Engine.run engine;
+      let expected = List.length (List.filter (fun (_, c) -> not c) evs) in
+      let fired_before = !fired in
+      (* cancel every handle — fired and cancelled alike — twice over *)
+      List.iter Engine.cancel handles;
+      List.iter Engine.cancel handles;
+      ignore (Engine.at engine 20_000 (fun () -> incr fired));
+      Engine.run engine;
+      fired_before = expected && !fired = fired_before + 1)
+
 let suite =
   [
     Alcotest.test_case "time: units" `Quick test_time_units;
@@ -360,6 +393,7 @@ let suite =
     Alcotest.test_case "engine: nested" `Quick test_engine_nested_schedule;
     Alcotest.test_case "engine: max events" `Quick test_engine_max_events;
     Alcotest.test_case "engine: rng determinism" `Quick test_engine_split_rng_deterministic;
+    qtest prop_cancel_idempotent;
     Alcotest.test_case "coro: repeat" `Quick test_coro_repeat;
     Alcotest.test_case "coro: forever" `Quick test_coro_forever_compute_block;
   ]
