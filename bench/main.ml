@@ -262,6 +262,143 @@ let write_bench_alloc_json config =
   E.Report.note "machine-readable per-policy results written to %s"
     bench_alloc_json_path
 
+(* ---- observability layer (lib/obs) -------------------------------------- *)
+
+(* Cost of the pull-based observation path itself: snapshotting a registry
+   the size a two-app run produces, rendering it to Prometheus text, and
+   the trace-analysis pass (utilization + invariants) over a full ring. *)
+module Registry = Skyloft_obs.Registry
+module Trace_analysis = Skyloft_obs.Trace_analysis
+module Attribution = Skyloft_obs.Attribution
+module Trace = Skyloft_stats.Trace
+module Histogram' = Skyloft_stats.Histogram
+module Timeseries' = Skyloft_stats.Timeseries
+
+let obs_cores = 8
+let obs_spans_per_core = 1000
+
+let obs_registry () =
+  let reg = Registry.create () in
+  for c = 0 to obs_cores - 1 do
+    let labels = [ Registry.core c ] in
+    Registry.counter reg ~labels "bench_counter" (fun () -> c);
+    Registry.gauge reg ~labels "bench_gauge" (fun () -> float_of_int c);
+    let h = Histogram'.create () in
+    for i = 1 to 100 do
+      Histogram'.record h (i * 1000)
+    done;
+    Registry.histogram reg ~labels "bench_hist" h;
+    let s = Timeseries'.create () in
+    for i = 1 to 100 do
+      Timeseries'.record s ~at:(i * 1000) i
+    done;
+    Registry.series reg ~labels "bench_series" s
+  done;
+  reg
+
+let obs_trace () =
+  let trace = Trace.create ~capacity:(obs_cores * obs_spans_per_core) () in
+  for core = 0 to obs_cores - 1 do
+    for i = 0 to obs_spans_per_core - 1 do
+      let start = i * 2000 in
+      Trace.span trace ~core ~app:(i land 1) ~name:"t" ~start ~stop:(start + 1000)
+    done
+  done;
+  trace
+
+let obs_tests =
+  let reg = obs_registry () in
+  let samples = Registry.snapshot ~until:(Time'.ms 1) reg in
+  let trace = obs_trace () in
+  Test.make_grouped ~name:"obs"
+    [
+      Test.make ~name:"snapshot"
+        (Staged.stage (fun () -> ignore (Registry.snapshot ~until:(Time'.ms 1) reg)));
+      Test.make ~name:"prometheus"
+        (Staged.stage (fun () -> ignore (Registry.to_prometheus samples)));
+      Test.make ~name:"analysis"
+        (Staged.stage (fun () ->
+             ignore (Trace_analysis.utilization trace ~until:(Time'.ms 2));
+             ignore (Trace_analysis.check trace)));
+    ]
+
+let print_obs_bench () =
+  E.Report.section
+    "Observability layer (Bechamel; registry snapshot/render + trace analysis)";
+  let results = run_bench obs_tests in
+  E.Report.table
+    ~header:[ "operation"; "ns per call (this host)" ]
+    [
+      [ Printf.sprintf "snapshot (%d instruments)" (4 * obs_cores);
+        Printf.sprintf "%.0f" (estimate results "obs/snapshot") ];
+      [ "prometheus render"; Printf.sprintf "%.0f" (estimate results "obs/prometheus") ];
+      [ Printf.sprintf "trace analysis (%d spans)" (obs_cores * obs_spans_per_core);
+        Printf.sprintf "%.0f" (estimate results "obs/analysis") ];
+    ];
+  E.Report.note "observation is pull-based: none of these costs exist inside a run"
+
+(* The determinism artifact: per runtime, the attribution means and the
+   fingerprints of the registry-on and registry-off runs — the two must be
+   identical, proving observation never perturbs the simulation. *)
+let bench_obs_json_path = "BENCH_obs.json"
+
+let write_bench_obs_json config =
+  let runs =
+    List.map
+      (fun ((name, _) as runtime) ->
+        let on_ = E.Obs_report.run_point config ~runtime ~instrumented:true in
+        let off = E.Obs_report.run_point config ~runtime ~instrumented:false in
+        (name, on_, off))
+      E.Obs_report.runtimes
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"duration_ms\": %.3f,\n  \"seed\": %d,\n"
+       (float_of_int config.E.Config.duration /. 1e6)
+       config.E.Config.seed);
+  Buffer.add_string buf "  \"runtimes\": {\n";
+  List.iteri
+    (fun i (name, (on_ : E.Obs_report.point), (off : E.Obs_report.point)) ->
+      let lc = List.assoc "lc" on_.E.Obs_report.rows in
+      let mean h = Histogram'.mean h in
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" name);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"requests\": %d, \"mismatches\": %d, \"violations\": %d,\n"
+           on_.E.Obs_report.requests on_.E.Obs_report.mismatches
+           (List.length on_.E.Obs_report.violations));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"fingerprint_on\": %S, \"fingerprint_off\": %S, \
+            \"identical\": %b,\n"
+           on_.E.Obs_report.fingerprint off.E.Obs_report.fingerprint
+           (on_.E.Obs_report.fingerprint = off.E.Obs_report.fingerprint));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      \"mean_ns\": { \"queueing\": %.1f, \"service\": %.1f, \
+            \"overhead\": %.1f, \"stall\": %.1f, \"response\": %.1f }\n"
+           (mean (Attribution.queueing lc))
+           (mean (Attribution.service lc))
+           (mean (Attribution.overhead lc))
+           (mean (Attribution.stall lc))
+           (mean (Attribution.response lc)));
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n" (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out bench_obs_json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter
+    (fun (name, (on_ : E.Obs_report.point), (off : E.Obs_report.point)) ->
+      if on_.E.Obs_report.fingerprint <> off.E.Obs_report.fingerprint then
+        failwith
+          (Printf.sprintf
+             "BENCH_obs: %s registry-on run differs from registry-off run" name))
+    runs;
+  E.Report.note "obs determinism artifact written to %s" bench_obs_json_path
+
 (* ---- main --------------------------------------------------------------- *)
 
 let () =
@@ -280,6 +417,7 @@ let () =
   print_table7_measured ();
   print_sim_bench ();
   print_alloc_bench ();
+  print_obs_bench ();
 
   (* Tables. *)
   ignore (E.Tables.print_table4 ());
@@ -303,6 +441,10 @@ let () =
 
   (* Fault-rate sweep (lib/fault): recovery machinery + BENCH_fault.json. *)
   ignore (E.Fault_sweep.print config);
+
+  (* Observability layer (lib/obs): attribution identity, trace invariants,
+     and the registry-on == registry-off determinism proof + BENCH_obs.json. *)
+  write_bench_obs_json config;
 
   (* Ablations of the design choices (DESIGN.md §5). *)
   E.Ablations.print config;

@@ -59,6 +59,9 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
     ( "fault-sweep",
       "fault-rate sweep: p99 + recovery accounting under injected faults",
       fun c -> ignore (E.Fault_sweep.print c) );
+    ( "obs-report",
+      "unified observability report: latency attribution + trace analysis",
+      fun c -> ignore (E.Obs_report.print c) );
     ("fig8a", "Memcached under the USR workload",
      fun c -> ignore (E.Fig8.print_a c));
     ("fig8b", "RocksDB under the bimodal workload",

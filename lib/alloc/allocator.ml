@@ -292,3 +292,34 @@ let policy_name t =
   if t.degraded then Policy.name t.fallback else Policy.name t.policy
 
 let interval t = t.interval
+
+(* Pull-based registration: closures read allocator state only at snapshot
+   time, so attaching a registry cannot perturb the control loop. *)
+let register_metrics t ?(labels = []) reg =
+  let module Registry = Skyloft_obs.Registry in
+  let c name help read = Registry.counter reg ~help ~labels name read in
+  c "skyloft_alloc_grants_total" "Core grants applied" (fun () -> t.grants);
+  c "skyloft_alloc_reclaims_total" "Forced core reclaims (LC steals)"
+    (fun () -> t.reclaims);
+  c "skyloft_alloc_yields_total" "Voluntary core yields" (fun () -> t.yields);
+  c "skyloft_alloc_ticks_total" "Controller sampling rounds" (fun () ->
+      t.ticks);
+  c "skyloft_alloc_charged_ns_total"
+    "Switch cost charged for allocator transitions" (fun () -> t.charged_ns);
+  c "skyloft_alloc_degradations_total"
+    "Falls back to the Static policy on stale signals" (fun () ->
+      t.degradations);
+  Registry.gauge reg ~labels "skyloft_alloc_free_cores"
+    ~help:"Cores currently in the free pool" (fun () ->
+      float_of_int (free_cores t));
+  Registry.gauge reg ~labels "skyloft_alloc_degraded"
+    ~help:"1 while deciding with the Static fallback" (fun () ->
+      if t.degraded then 1.0 else 0.0);
+  List.iter
+    (fun b ->
+      let al = labels @ [ Registry.app b.app_name ] in
+      Registry.gauge reg ~labels:al "skyloft_alloc_granted_cores"
+        ~help:"Cores currently granted" (fun () -> float_of_int b.granted);
+      Registry.series reg ~labels:al "skyloft_alloc_granted_series"
+        ~help:"Granted core count over time" b.series)
+    t.apps

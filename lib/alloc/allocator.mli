@@ -139,3 +139,11 @@ val policy_name : t -> string
 
 val interval : t -> Time.t
 val free_cores : t -> int
+
+(** [register_metrics t reg] registers the allocator's transition counters,
+    free-pool and degradation gauges (under [skyloft_alloc_*]), and each
+    registered application's granted-core gauge and timeseries (labelled
+    with the app name).  Call after the applications have registered.
+    Pull-based; never perturbs the control loop. *)
+val register_metrics :
+  t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit

@@ -1,5 +1,6 @@
 module Time = Skyloft_sim.Time
 module Summary = Skyloft_stats.Summary
+module Attribution = Skyloft_obs.Attribution
 
 type t = {
   id : int;
@@ -9,6 +10,7 @@ type t = {
   mutable completed : int;
   mutable tasks_alive : int;
   summary : Summary.t;
+  attribution : Attribution.t;
 }
 
 let counter = ref 0
@@ -22,6 +24,7 @@ let make id name =
     completed = 0;
     tasks_alive = 0;
     summary = Summary.create ();
+    attribution = Attribution.create ();
   }
 
 let create ~name =

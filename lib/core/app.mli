@@ -1,5 +1,6 @@
 module Time = Skyloft_sim.Time
 module Summary = Skyloft_stats.Summary
+module Attribution = Skyloft_obs.Attribution
 
 (** Applications scheduled by Skyloft.
 
@@ -17,6 +18,9 @@ type t = {
   mutable completed : int;
   mutable tasks_alive : int;
   summary : Summary.t;
+  attribution : Attribution.t;
+      (** per-request latency attribution (queueing / service / overhead /
+          stall segments), recorded by the runtimes alongside [summary] *)
 }
 
 val create : name:string -> t

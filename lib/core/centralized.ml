@@ -9,8 +9,11 @@ module Kmod = Skyloft_kernel.Kmod
 module Summary = Skyloft_stats.Summary
 module Histogram = Skyloft_stats.Histogram
 module Trace = Skyloft_stats.Trace
+module Timeseries = Skyloft_stats.Timeseries
 module Alloc_policy = Skyloft_alloc.Policy
 module Allocator = Skyloft_alloc.Allocator
+module Registry = Skyloft_obs.Registry
+module Attribution = Skyloft_obs.Attribution
 
 type mechanism = {
   mech_name : string;
@@ -93,6 +96,7 @@ type t = {
   mutable dispatches : int;
   watchdog : Time.t option;
   rescue_detect : Histogram.t;
+  queue_depth : Timeseries.t;  (* LC policy queue length over time *)
   mutable rescues : int;
   mutable failovers : int;
   mutable deadline_drops : int;
@@ -133,7 +137,12 @@ let account t w =
   (match w.current with
   | Some task ->
       let app = find_app t task.Task.app in
-      app.App.busy_ns <- app.App.busy_ns + max 0 (now t - w.busy_from)
+      app.App.busy_ns <- app.App.busy_ns + max 0 (now t - w.busy_from);
+      (match t.trace with
+      | Some trace when now t > w.busy_from ->
+          Trace.span trace ~core:w.core_id ~app:task.Task.app
+            ~name:task.Task.name ~start:w.busy_from ~stop:(now t)
+      | _ -> ())
   | None -> ());
   w.busy_from <- now t
 
@@ -159,6 +168,7 @@ let rec process t w (task : Task.t) =
       account t w;
       w.current <- None;
       w.gen <- w.gen + 1;
+      task.obs_enq_at <- now t;
       if is_be t task then Runqueue.push_tail t.be_queue task
       else
         t.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_yielded task;
@@ -175,6 +185,7 @@ let rec process t w (task : Task.t) =
         account t w;
         w.current <- None;
         w.gen <- w.gen + 1;
+        task.obs_block_at <- now t;
         t.policy.task_block ~cpu:w.core_id task;
         try_next t w
       end
@@ -211,6 +222,8 @@ and start_on t w (task : Task.t) =
   in
   task.state <- Task.Running;
   task.wake_time <- None;
+  task.obs_queued_ns <- task.obs_queued_ns + max 0 (now t - task.obs_enq_at);
+  task.obs_overhead_ns <- task.obs_overhead_ns + switch_cost;
   w.current <- Some task;
   w.busy_from <- now t;
   w.gen <- w.gen + 1;
@@ -274,14 +287,20 @@ and do_preempt t w gen ~requeue =
   | Some task, Some h when w.gen = gen ->
       Eventq.cancel h;
       w.completion <- None;
-      (* Worker-side handling overhead runs before the switch. *)
+      (* Worker-side handling overhead runs before the switch.  It is
+         charged to the task now even though its wall time elapses inside
+         the inflated remaining segment — the attribution identity holds
+         either way because the response time counts it exactly once. *)
       let overhead = t.mech.preempt_receive in
       let remaining = max 0 (task.segment_end - now t) + overhead in
       task.body <- Coro.Compute (remaining, task.cont);
       task.state <- Task.Runnable;
+      task.obs_overhead_ns <- task.obs_overhead_ns + overhead;
       account t w;
       w.current <- None;
       w.gen <- w.gen + 1;
+      task.obs_enq_at <- now t;
+      trace_instant t ~core:w.core_id Trace.Preempt task.Task.name;
       requeue task;
       try_next t w
   | _ -> ()
@@ -374,6 +393,7 @@ let on_worker_steal t w ~duration =
       Eventq.cancel h;
       task.Task.segment_end <- task.Task.segment_end + duration;
       task.Task.run_start <- task.Task.run_start + duration;
+      task.Task.obs_stall_ns <- task.Task.obs_stall_ns + duration;
       w.completion <-
         Some
           (Engine.at t.engine task.Task.segment_end (fun () ->
@@ -492,6 +512,7 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
       dispatches = 0;
       watchdog;
       rescue_detect = Histogram.create ();
+      queue_depth = Timeseries.create ();
       rescues = 0;
       failovers = 0;
       deadline_drops = 0;
@@ -499,7 +520,10 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
     }
   in
   let policy, probe =
-    Sched_ops.instrument ~now:(fun () -> now t) (ctor (worker_view t))
+    Sched_ops.instrument
+      ~now:(fun () -> now t)
+      ~on_change:(fun n -> Timeseries.record t.queue_depth ~at:(now t) n)
+      (ctor (worker_view t))
   in
   t.policy <- policy;
   t.probe <- probe;
@@ -676,12 +700,20 @@ let submit t app ?(service = 0) ?(record = true) ?deadline ?on_drop ~name body =
     if record then
       Some
         (fun (task : Task.t) ->
-          if task.Task.service > 0 then
+          if task.Task.service > 0 then begin
             Summary.record_request app.App.summary ~arrival:task.arrival
-              ~completion:(now t) ~service:task.service)
+              ~completion:(now t) ~service:task.service;
+            Attribution.record app.App.attribution
+              ~queueing:task.Task.obs_queued_ns
+              ~overhead:task.Task.obs_overhead_ns ~stall:task.Task.obs_stall_ns
+              ~response:(now t - task.Task.obs_start)
+              ~declared:task.Task.service
+          end)
     else None
   in
   let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
+  task.Task.obs_start <- now t;
+  task.Task.obs_enq_at <- now t;
   app.App.spawned <- app.App.spawned + 1;
   app.App.tasks_alive <- app.App.tasks_alive + 1;
   t.policy.task_init task;
@@ -700,6 +732,9 @@ let wakeup t (task : Task.t) =
       task.state <- Task.Runnable;
       task.resuming <- true;
       task.wake_time <- Some (now t);
+      task.obs_stall_ns <- task.obs_stall_ns + max 0 (now t - task.obs_block_at);
+      task.obs_enq_at <- now t;
+      trace_instant t ~core:(max 0 task.last_core) Trace.Wakeup task.name;
       ignore (t.policy.task_wakeup ~waker_cpu:t.dispatcher_core task);
       pump t
   | Task.Running | Task.Runnable -> task.pending_wake <- true
@@ -713,6 +748,47 @@ let failovers t = t.failovers
 let rescue_detection t = t.rescue_detect
 let deadline_drops t = t.deadline_drops
 let set_trace t trace = t.trace <- Some trace
+let queue_depth_series t = t.queue_depth
 
 let worker_busy_ns t =
   List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps
+
+(* Pull-based registration: every closure reads existing state at snapshot
+   time, so attaching a registry cannot perturb the simulation. *)
+let register_metrics t ?(labels = []) reg =
+  let c name help read = Registry.counter reg ~help ~labels name read in
+  c "skyloft_central_dispatches_total" "Tasks assigned to workers" (fun () ->
+      t.dispatches);
+  c "skyloft_central_preemptions_total" "Quantum preemptions sent" (fun () ->
+      t.preempts);
+  c "skyloft_central_be_preemptions_total" "Best-effort workers preempted"
+    (fun () -> t.be_preempts);
+  c "skyloft_central_watchdog_rescues_total" "Stuck workers rescued" (fun () ->
+      t.rescues);
+  c "skyloft_central_failovers_total" "Dispatcher failovers" (fun () ->
+      t.failovers);
+  c "skyloft_central_deadline_drops_total" "Tasks killed at their deadline"
+    (fun () -> t.deadline_drops);
+  Registry.gauge reg ~labels "skyloft_central_be_allowance"
+    ~help:"Workers the best-effort application may occupy" (fun () ->
+      float_of_int t.be_allowance);
+  Registry.gauge reg ~labels "skyloft_central_queue_length"
+    ~help:"LC tasks waiting at the dispatcher" (fun () ->
+      float_of_int (queue_length t));
+  Registry.histogram reg ~labels "skyloft_central_rescue_detection_ns"
+    ~help:"Watchdog detection latency past the bound" t.rescue_detect;
+  Registry.series reg ~labels "skyloft_central_queue_depth"
+    ~help:"LC policy queue length" t.queue_depth;
+  List.iter
+    (fun (app : App.t) ->
+      let al = labels @ [ Registry.app app.App.name ] in
+      Registry.counter reg ~labels:al "skyloft_app_spawned_total"
+        ~help:"Tasks spawned" (fun () -> app.App.spawned);
+      Registry.counter reg ~labels:al "skyloft_app_completed_total"
+        ~help:"Tasks completed" (fun () -> app.App.completed);
+      Registry.counter reg ~labels:al "skyloft_app_busy_ns_total"
+        ~help:"Accumulated worker CPU time" (fun () -> app.App.busy_ns);
+      Registry.histogram reg ~labels:al "skyloft_app_response_ns"
+        ~help:"Request response time" (Summary.latency app.App.summary);
+      Attribution.register reg ~labels:al app.App.attribution)
+    t.apps

@@ -137,5 +137,21 @@ val deadline_drops : t -> int
 (** Tasks killed by their submit deadline (see {!submit}). *)
 
 val set_trace : t -> Skyloft_stats.Trace.t -> unit
-(** Record recovery activity (watchdog rescues, failovers, deadline drops,
-    allocator mode transitions) as trace instants. *)
+(** Record scheduling activity into the trace: one span per interval a
+    task runs on a worker, instants for preemptions, wakeups, recovery
+    (watchdog rescues, failovers, deadline drops) and allocator mode
+    transitions — the same shape the per-CPU runtime emits, so the
+    [lib/obs] trace-analysis passes work on either runtime. *)
+
+val queue_depth_series : t -> Skyloft_stats.Timeseries.t
+(** LC policy queue length over time (one sample per change); feed it to
+    the Perfetto counter-track export in [lib/obs]. *)
+
+(** [register_metrics t reg] registers this runtime's counters, gauges, and
+    queue-depth series (under [skyloft_central_*]) plus every application's
+    task counters, response-time histogram, and latency attribution (under
+    [skyloft_app_*], labelled with the app name).  Call after the
+    applications have been created.  Registration is pull-based and never
+    perturbs the simulation. *)
+val register_metrics :
+  t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit

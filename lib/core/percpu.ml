@@ -9,8 +9,11 @@ module Kmod = Skyloft_kernel.Kmod
 module Histogram = Skyloft_stats.Histogram
 module Summary = Skyloft_stats.Summary
 module Trace = Skyloft_stats.Trace
+module Timeseries = Skyloft_stats.Timeseries
 module Alloc_policy = Skyloft_alloc.Policy
 module Allocator = Skyloft_alloc.Allocator
+module Registry = Skyloft_obs.Registry
+module Attribution = Skyloft_obs.Attribution
 
 type cpu = {
   core_id : int;
@@ -47,6 +50,7 @@ type t = {
   watchdog : Time.t option;  (* rescue bound; None disables the watchdog *)
   rescue_detect : Histogram.t;  (* how late each violation was caught *)
   wakeups : Histogram.t;
+  queue_depth : Timeseries.t;  (* LC policy queue length over time *)
   mutable switches : int;
   mutable app_switches : int;
   mutable preempts : int;
@@ -128,6 +132,7 @@ let rec process t cpu (task : Task.t) =
       task.state <- Task.Runnable;
       account t cpu;
       cpu.current <- None;
+      task.obs_enq_at <- now t;
       if is_be t task then Runqueue.push_tail t.be_queue task
       else
         t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_yielded task;
@@ -143,6 +148,7 @@ let rec process t cpu (task : Task.t) =
         task.state <- Task.Blocked;
         account t cpu;
         cpu.current <- None;
+        task.obs_block_at <- now t;
         t.policy.task_block ~cpu:cpu.core_id task;
         schedule t cpu ~prev:(Some task)
       end
@@ -167,6 +173,8 @@ and dispatch t cpu (task : Task.t) ~switch_cost =
   cpu.current <- Some task;
   cpu.busy_from <- now t;
   cpu.last_sched <- now t;
+  task.obs_queued_ns <- task.obs_queued_ns + max 0 (now t - task.obs_enq_at);
+  task.obs_overhead_ns <- task.obs_overhead_ns + switch_cost;
   let start = now t + switch_cost in
   (match task.wake_time with
   | Some w ->
@@ -270,6 +278,7 @@ let preempt_current t cpu =
       task.state <- Task.Runnable;
       account t cpu;
       cpu.current <- None;
+      task.obs_enq_at <- now t;
       t.preempts <- t.preempts + 1;
       trace_instant t ~core:cpu.core_id Trace.Preempt task.Task.name;
       if is_be t task then begin
@@ -280,12 +289,17 @@ let preempt_current t cpu =
       schedule t cpu ~prev:(Some task)
   | _ -> ()
 
-(* Interrupt handling steals CPU time from the running segment. *)
-let steal_time t cpu cost =
+(* Interrupt handling steals CPU time from the running segment.  The cost
+   is attributed to the victim task as scheduling overhead — or as fault
+   stall when [stall] (host-kernel core steals, where the core vanishes
+   rather than doing scheduling work). *)
+let steal_time ?(stall = false) t cpu cost =
   match (cpu.current, cpu.completion) with
   | Some task, Some h ->
       Eventq.cancel h;
       task.segment_end <- task.segment_end + cost;
+      if stall then task.obs_stall_ns <- task.obs_stall_ns + cost
+      else task.obs_overhead_ns <- task.obs_overhead_ns + cost;
       cpu.completion <-
         Some (Engine.at t.engine task.segment_end (fun () -> on_complete t cpu task))
   | _ -> ()
@@ -396,7 +410,7 @@ let watchdog_scan t ~bound =
    queued tick re-preempts promptly once the core returns. *)
 let on_core_steal t cpu ~duration =
   cpu.stolen_until <- max cpu.stolen_until (now t + duration);
-  steal_time t cpu duration;
+  steal_time ~stall:true t cpu duration;
   cpu.last_sched <- max cpu.last_sched cpu.stolen_until
 
 (* ---- construction -------------------------------------------------------- *)
@@ -465,6 +479,7 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park
       watchdog;
       rescue_detect = Histogram.create ();
       wakeups = Histogram.create ();
+      queue_depth = Timeseries.create ();
       switches = 0;
       app_switches = 0;
       preempts = 0;
@@ -478,7 +493,12 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park
     }
   in
   Array.iter (fun cpu -> Hashtbl.replace t.by_core cpu.core_id cpu) cpus;
-  let policy, probe = Sched_ops.instrument ~now:(fun () -> now t) (ctor (view t)) in
+  let policy, probe =
+    Sched_ops.instrument
+      ~now:(fun () -> now t)
+      ~on_change:(fun n -> Timeseries.record t.queue_depth ~at:(now t) n)
+      (ctor (view t))
+  in
   t.policy <- policy;
   t.probe <- probe;
   (* The daemon occupies every isolated core first (§4.1). *)
@@ -692,12 +712,20 @@ let spawn t app ~name ?cpu ?arrival ?service ?(record = true) ?deadline ?on_drop
     if record then
       Some
         (fun (task : Task.t) ->
-          if task.Task.service > 0 then
+          if task.Task.service > 0 then begin
             Summary.record_request app.App.summary ~arrival:task.arrival
-              ~completion:(now t) ~service:task.service)
+              ~completion:(now t) ~service:task.service;
+            Attribution.record app.App.attribution
+              ~queueing:task.Task.obs_queued_ns
+              ~overhead:task.Task.obs_overhead_ns ~stall:task.Task.obs_stall_ns
+              ~response:(now t - task.Task.obs_start)
+              ~declared:task.Task.service
+          end)
     else None
   in
   let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
+  task.Task.obs_start <- now t;
+  task.Task.obs_enq_at <- now t;
   app.App.spawned <- app.App.spawned + 1;
   app.App.tasks_alive <- app.App.tasks_alive + 1;
   let target = match cpu with Some c -> c | None -> pick_spawn_cpu t in
@@ -729,6 +757,7 @@ let rec fault_current t ~core ~duration =
       task.state <- Task.Blocked;
       account t cpu;
       cpu.current <- None;
+      task.Task.obs_block_at <- now t;
       (* BE tasks live outside the LC policy's runqueues; telling the
          policy about one would leak it into LC dispatch at wakeup. *)
       if not (is_be t task) then t.policy.task_block ~cpu:core task;
@@ -744,6 +773,9 @@ and wakeup_task t ?waker_cpu task =
       task.Task.state <- Task.Runnable;
       task.Task.resuming <- true;
       task.Task.wake_time <- Some (now t);
+      task.Task.obs_stall_ns <-
+        task.Task.obs_stall_ns + max 0 (now t - task.Task.obs_block_at);
+      task.Task.obs_enq_at <- now t;
       trace_instant t ~core:task.Task.last_core Trace.Wakeup task.Task.name;
       if is_be t task then begin
         (* Back to the BE queue, never the LC policy's runqueues. *)
@@ -791,6 +823,7 @@ let preempt_core t ~src_core ~dst_core =
 
 let current t ~core = (cpu_of t core).current
 let wakeup_hist t = t.wakeups
+let queue_depth_series t = t.queue_depth
 let task_switches t = t.switches
 let app_switches t = t.app_switches
 let preemptions t = t.preempts
@@ -804,3 +837,45 @@ let total_busy_ns t =
 
 let apps t = t.apps
 let set_trace t trace = t.trace <- Some trace
+
+(* Pull-based registration: every closure reads existing state at snapshot
+   time, so attaching a registry cannot perturb the simulation. *)
+let register_metrics t ?(labels = []) reg =
+  let c name help read = Registry.counter reg ~help ~labels name read in
+  c "skyloft_percpu_task_switches_total" "Intra-application task switches"
+    (fun () -> t.switches);
+  c "skyloft_percpu_app_switches_total"
+    "Cross-application kthread switches through the kernel module" (fun () ->
+      t.app_switches);
+  c "skyloft_percpu_preemptions_total" "Tasks preempted off their core"
+    (fun () -> t.preempts);
+  c "skyloft_percpu_be_preemptions_total" "Best-effort tasks preempted"
+    (fun () -> t.be_preempts);
+  c "skyloft_percpu_timer_ticks_total" "User-space timer interrupts handled"
+    (fun () -> t.ticks);
+  c "skyloft_percpu_watchdog_rescues_total" "Stuck cores rescued" (fun () ->
+      t.rescues);
+  c "skyloft_percpu_deadline_drops_total" "Tasks killed at their deadline"
+    (fun () -> t.deadline_drops);
+  Registry.gauge reg ~labels "skyloft_percpu_be_allowance"
+    ~help:"Cores the best-effort application may occupy" (fun () ->
+      float_of_int t.be_allowance);
+  Registry.histogram reg ~labels "skyloft_percpu_wakeup_latency_ns"
+    ~help:"Wakeup-to-dispatch latency" t.wakeups;
+  Registry.histogram reg ~labels "skyloft_percpu_rescue_detection_ns"
+    ~help:"Watchdog detection latency past the bound" t.rescue_detect;
+  Registry.series reg ~labels "skyloft_percpu_queue_depth"
+    ~help:"LC policy queue length" t.queue_depth;
+  List.iter
+    (fun (app : App.t) ->
+      let al = labels @ [ Registry.app app.App.name ] in
+      Registry.counter reg ~labels:al "skyloft_app_spawned_total"
+        ~help:"Tasks spawned" (fun () -> app.App.spawned);
+      Registry.counter reg ~labels:al "skyloft_app_completed_total"
+        ~help:"Tasks completed" (fun () -> app.App.completed);
+      Registry.counter reg ~labels:al "skyloft_app_busy_ns_total"
+        ~help:"Accumulated worker CPU time" (fun () -> app.App.busy_ns);
+      Registry.histogram reg ~labels:al "skyloft_app_response_ns"
+        ~help:"Request response time" (Summary.latency app.App.summary);
+      Attribution.register reg ~labels:al app.App.attribution)
+    t.apps

@@ -4,6 +4,8 @@ module Machine = Skyloft_hw.Machine
 module Kmod = Skyloft_kernel.Kmod
 module Histogram = Skyloft_stats.Histogram
 module Trace = Skyloft_stats.Trace
+module Timeseries = Skyloft_stats.Timeseries
+module Registry = Skyloft_obs.Registry
 
 (** The per-CPU Skyloft runtime (Figure 2a).
 
@@ -138,6 +140,18 @@ val now : t -> Time.t
 val current : t -> core:int -> Task.t option
 val is_idle : t -> core:int -> bool
 val wakeup_hist : t -> Histogram.t
+
+val queue_depth_series : t -> Timeseries.t
+(** LC policy queue length over time (one sample per change); feed it to
+    the Perfetto counter-track export in [lib/obs]. *)
+
+(** [register_metrics t reg] registers this runtime's counters, histograms,
+    and queue-depth series (under [skyloft_percpu_*]) plus every
+    application's task counters, response-time histogram, and latency
+    attribution (under [skyloft_app_*], labelled with the app name).  Call
+    after the applications have been created.  Registration is pull-based
+    and never perturbs the simulation. *)
+val register_metrics : t -> ?labels:Registry.labels -> Registry.t -> unit
 val task_switches : t -> int
 val app_switches : t -> int
 val preemptions : t -> int

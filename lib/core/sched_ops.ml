@@ -39,18 +39,21 @@ type probe = { queued : unit -> int; oldest_wait : unit -> Time.t }
    interface, so the runtimes measure them by wrapping the policy's queue
    operations.  Enqueue-order timestamps approximate the oldest pending
    task exactly for FIFO policies and conservatively otherwise. *)
-let instrument ~now (p : instance) =
+let instrument ~now ?on_change (p : instance) =
   let count = ref 0 in
   let stamps = Queue.create () in
+  let notify () = match on_change with Some f -> f !count | None -> () in
   let entered () =
     incr count;
-    Queue.push (now ()) stamps
+    Queue.push (now ()) stamps;
+    notify ()
   in
   let left = function
     | None -> None
     | some ->
         if !count > 0 then decr count;
         if not (Queue.is_empty stamps) then ignore (Queue.pop stamps);
+        notify ();
         some
   in
   let wrapped =

@@ -71,10 +71,14 @@ type probe = {
           Exact for FIFO dequeue orders, an approximation otherwise. *)
 }
 
-val instrument : now:(unit -> Time.t) -> instance -> instance * probe
+val instrument :
+  now:(unit -> Time.t) -> ?on_change:(int -> unit) -> instance -> instance * probe
 (** Wrap [task_enqueue]/[task_wakeup] (entries) and
     [task_dequeue]/[sched_balance] (exits) of an instance with counting.
-    The returned instance must replace the original. *)
+    The returned instance must replace the original.  [on_change] is
+    called with the new count after every entry and every successful exit
+    (the runtimes record it into a queue-depth {!Skyloft_stats.Timeseries});
+    it must not re-enter the policy. *)
 
 val pick_idle : view -> int option
 (** First idle managed core, if any. *)

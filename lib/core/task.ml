@@ -25,6 +25,12 @@ type t = {
   mutable service : Time.t;
   mutable on_exit : (t -> unit) option;
   mutable killed : bool;
+  mutable obs_start : Time.t;
+  mutable obs_enq_at : Time.t;
+  mutable obs_block_at : Time.t;
+  mutable obs_queued_ns : int;
+  mutable obs_overhead_ns : int;
+  mutable obs_stall_ns : int;
 }
 
 let counter = ref 0
@@ -53,6 +59,12 @@ let create ~app ~name ?(arrival = 0) ?(service = 0) ?on_exit body =
     service;
     on_exit;
     killed = false;
+    obs_start = 0;
+    obs_enq_at = 0;
+    obs_block_at = 0;
+    obs_queued_ns = 0;
+    obs_overhead_ns = 0;
+    obs_stall_ns = 0;
   }
 
 let is_runnable t = match t.state with Runnable | Running -> true | Blocked | Exited -> false

@@ -45,6 +45,20 @@ type t = {
   mutable killed : bool;
       (** killed at its deadline while in a runqueue; the runtime discards
           it lazily at the next dequeue instead of searching every queue *)
+  mutable obs_start : Time.t;
+      (** when the runtime first accepted the task (latency-attribution
+          epoch; distinct from [arrival], which workloads may backdate) *)
+  mutable obs_enq_at : Time.t;  (** last runqueue entry (attribution stamp;
+                                    distinct from the policy-owned
+                                    [enqueue_time]) *)
+  mutable obs_block_at : Time.t;  (** last transition to Blocked *)
+  mutable obs_queued_ns : int;  (** accumulated runnable-but-not-running time *)
+  mutable obs_overhead_ns : int;
+      (** accumulated scheduling overhead charged to this task: switch
+          costs at dispatch, preemption delivery, interrupt handling *)
+  mutable obs_stall_ns : int;
+      (** accumulated fault stall: blocked time plus host-kernel core
+          steals that froze the running segment *)
 }
 
 val create :

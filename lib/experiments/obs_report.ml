@@ -1,0 +1,426 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Coro = Skyloft_sim.Coro
+module Dist = Skyloft_sim.Dist
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Histogram = Skyloft_stats.Histogram
+module Timeseries = Skyloft_stats.Timeseries
+module Trace = Skyloft_stats.Trace
+module App = Skyloft.App
+module Centralized = Skyloft.Centralized
+module Percpu = Skyloft.Percpu
+module Allocator = Skyloft_alloc.Allocator
+module Alloc_policy = Skyloft_alloc.Policy
+module Nic = Skyloft_net.Nic
+module Packet = Skyloft_net.Packet
+module Loadgen = Skyloft_net.Loadgen
+module Synthetic = Skyloft_apps.Synthetic
+module Plan = Skyloft_fault.Plan
+module Injector = Skyloft_fault.Injector
+module Registry = Skyloft_obs.Registry
+module Attribution = Skyloft_obs.Attribution
+module Trace_analysis = Skyloft_obs.Trace_analysis
+
+(** Observability report: the lib/obs layer exercised end to end on both
+    runtimes.
+
+    An open-loop workload (with a slice of requests that page-fault in the
+    middle of their service time) runs co-located with a batch application
+    while the injector steals cores, so every latency segment — queueing,
+    service, preemption overhead, fault stall — is nonzero.  The run is
+    performed twice per runtime, once with the metrics registry attached
+    and once without; the trace and every per-request statistic must be
+    byte-identical (observation must not perturb the simulation).  On top
+    of the trace the analysis pass computes per-core utilization and
+    checks the structural invariants; the attribution identity
+    [queueing + service + overhead + stall = response] must hold exactly
+    for every completed request.  Any violation fails the experiment with
+    a nonzero exit — this is the CI smoke check for lib/obs. *)
+
+let n_workers = 4
+let dispatcher_core = 0
+let worker_cores = List.init n_workers (fun i -> i + 1)
+let percpu_cores = List.init n_workers Fun.id
+let quantum = Time.us 30
+let watchdog_bound = Time.us 200
+let load_frac = 0.35
+let rate_rps = load_frac *. Synthetic.saturation_rps ~cores:n_workers
+let drain = Time.ms 20
+let trace_capacity = 300_000
+let steal_duration = Time.us 25
+let steal_period = Time.us 900
+let fault_every = 7  (* every 7th request blocks mid-service... *)
+let fault_ns = Time.us 15  (* ...for this long *)
+let page_fault_period = Time.us 500  (* percpu: fault the task on core 0 *)
+let page_fault_ns = Time.us 20
+
+type runtime = Central | Percore
+
+let runtimes = [ ("centralized", Central); ("percpu", Percore) ]
+
+let alloc_cfg () =
+  {
+    (Allocator.default_config ()) with
+    Allocator.policy = Alloc_policy.delay ();
+  }
+
+(* Runtime-neutral surface: submit a request (optionally one that blocks
+   mid-service), register every subsystem's metrics, and poke the
+   runtime-specific fault path. *)
+type iface = {
+  submit : name:string -> service:Time.t -> fault:bool -> unit;
+  register : Registry.t -> unit;
+  lc : App.t;
+  be : App.t;
+  queue_series : Timeseries.t;
+  alloc : unit -> Allocator.t option;
+  fault_tick : unit -> unit;
+}
+
+(* A faulting request computes half its service, blocks (the page-fault
+   monitor path), and is woken by an external event; the runtime charges
+   the blocked interval as fault stall, never as service. *)
+let split_service service = (service / 2, service - (service / 2))
+
+let make_centralized engine machine kmod =
+  let rt =
+    Centralized.create machine kmod ~dispatcher_core ~worker_cores ~quantum
+      ~alloc:(alloc_cfg ()) ~watchdog:watchdog_bound
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let lc = Centralized.create_app rt ~name:"lc" in
+  let be = Centralized.create_app rt ~name:"batch" in
+  Centralized.attach_be_app rt be ~chunk:(Time.us 50) ~workers:n_workers;
+  ( rt,
+    {
+      submit =
+        (fun ~name ~service ~fault ->
+          if fault then begin
+            let s1, s2 = split_service service in
+            let body =
+              Coro.Compute
+                ( s1,
+                  fun () ->
+                    Coro.Block (fun () -> Coro.Compute (s2, fun () -> Coro.Exit))
+                )
+            in
+            let task = Centralized.submit rt lc ~service ~name body in
+            ignore
+              (Engine.after engine (s1 + fault_ns) (fun () ->
+                   Centralized.wakeup rt task))
+          end
+          else
+            ignore
+              (Centralized.submit rt lc ~service ~name
+                 (Coro.Compute (service, fun () -> Coro.Exit))));
+      register =
+        (fun reg ->
+          Centralized.register_metrics rt reg;
+          match Centralized.allocator rt with
+          | Some a -> Allocator.register_metrics a reg
+          | None -> ());
+      lc;
+      be;
+      queue_series = Centralized.queue_depth_series rt;
+      alloc = (fun () -> Centralized.allocator rt);
+      fault_tick = (fun () -> ());
+    },
+    (fun trace -> Centralized.set_trace rt trace) )
+
+let make_percpu engine machine kmod =
+  let rt =
+    Percpu.create machine kmod ~cores:percpu_cores ~timer_hz:100_000
+      ~watchdog:watchdog_bound
+      (Skyloft_policies.Work_stealing.create ~quantum ())
+  in
+  let lc = Percpu.create_app rt ~name:"lc" in
+  let be = Percpu.create_app rt ~name:"batch" in
+  Percpu.attach_be_app rt ~alloc:(alloc_cfg ()) be ~chunk:(Time.us 50)
+    ~workers:n_workers;
+  ( rt,
+    {
+      submit =
+        (fun ~name ~service ~fault ->
+          if fault then begin
+            let s1, s2 = split_service service in
+            let body =
+              Coro.Compute
+                ( s1,
+                  fun () ->
+                    Coro.Block (fun () -> Coro.Compute (s2, fun () -> Coro.Exit))
+                )
+            in
+            let task = Percpu.spawn rt lc ~service ~name body in
+            ignore
+              (Engine.after engine (s1 + fault_ns) (fun () ->
+                   Percpu.wakeup rt task))
+          end
+          else
+            ignore
+              (Percpu.spawn rt lc ~service ~name
+                 (Coro.Compute (service, fun () -> Coro.Exit))));
+      register =
+        (fun reg ->
+          Percpu.register_metrics rt reg;
+          match Percpu.allocator rt with
+          | Some a -> Allocator.register_metrics a reg
+          | None -> ());
+      lc;
+      be;
+      queue_series = Percpu.queue_depth_series rt;
+      alloc = (fun () -> Percpu.allocator rt);
+      fault_tick =
+        (fun () ->
+          ignore (Percpu.fault_current rt ~core:0 ~duration:page_fault_ns));
+    },
+    (fun trace -> Percpu.set_trace rt trace) )
+
+type point = {
+  runtime : string;
+  instrumented : bool;
+  until : Time.t;
+  requests : int;
+  mismatches : int;
+  violations : Trace_analysis.violation list;
+  dropped : int;
+  busy_delta : int;  (* trace-vs-accounting busy residue; 0 when decidable *)
+  util : Trace_analysis.core_report list;
+  rows : (string * Attribution.t) list;
+  fingerprint : string;
+  trace_json : string;
+  samples : Registry.sample list;  (* empty when not instrumented *)
+  injected : int;
+}
+
+(* Everything per-request-visible goes into the fingerprint; the two arms
+   (registry attached / not attached) must agree byte for byte. *)
+let fingerprint_of ~trace_json ~rows ~queue_series =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf trace_json;
+  List.iter
+    (fun (name, a) ->
+      Buffer.add_string buf
+        (Format.asprintf "%a\n" Attribution.pp_row (name, a)))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "qdepth:%d:%d\n"
+       (Timeseries.length queue_series)
+       (match Timeseries.last queue_series with Some (_, v) -> v | None -> -1));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
+  (* App ids leak into trace pids; both arms must allocate the same ids. *)
+  App.reset_ids ();
+  let engine = Engine.create ~seed:config.seed () in
+  let machine = Machine.create engine Topology.paper_server in
+  let kmod = Kmod.create machine in
+  let iface, set_trace =
+    match which with
+    | Central ->
+        let _, iface, set = make_centralized engine machine kmod in
+        (iface, set)
+    | Percore ->
+        let _, iface, set = make_percpu engine machine kmod in
+        (iface, set)
+  in
+  let trace = Trace.create ~capacity:trace_capacity () in
+  set_trace trace;
+  let nic = Nic.create engine ~queues:1 () in
+  let inj_rng = Engine.split_rng engine in
+  let gen_rng = Engine.split_rng engine in
+  let injector = Injector.create ~engine ~rng:inj_rng () in
+  let inject_cores =
+    match which with
+    | Central -> dispatcher_core :: worker_cores
+    | Percore -> percpu_cores
+  in
+  Injector.arm injector
+    {
+      Injector.machine;
+      kmod = Some kmod;
+      nic = Some nic;
+      cores = inject_cores;
+      poison = None;
+    }
+    [ Plan.core_steal ~period:steal_period ~duration:steal_duration () ];
+  (* The registry is the only difference between the two arms. *)
+  let registry = if instrumented then Some (Registry.create ()) else None in
+  (match registry with
+  | Some reg ->
+      iface.register reg;
+      Kmod.register_metrics kmod reg;
+      Nic.register_metrics nic reg;
+      Injector.register_metrics injector reg
+  | None -> ());
+  let n = ref 0 in
+  Nic.on_packet nic ~queue:0 (fun (pkt : Packet.t) ->
+      incr n;
+      iface.submit ~name:pkt.Packet.kind ~service:pkt.Packet.service
+        ~fault:(!n mod fault_every = 0));
+  Loadgen.poisson engine ~rng:gen_rng ~rate_rps ~service:Dist.dispersive
+    ~duration:config.duration (fun pkt -> Nic.rx nic pkt);
+  (match which with
+  | Percore ->
+      Engine.every engine ~period:page_fault_period (fun () ->
+          iface.fault_tick ();
+          true)
+  | Central -> ());
+  let until = config.duration + drain in
+  Engine.run ~until engine;
+  let rows =
+    [ (iface.lc.App.name, iface.lc.App.attribution);
+      (iface.be.App.name, iface.be.App.attribution) ]
+  in
+  let util = Trace_analysis.utilization trace ~until in
+  let violations = Trace_analysis.check trace in
+  (* When the ring kept everything, each app's span total must reproduce
+     the runtime's own busy accounting exactly (segments still in flight
+     at the horizon appear in neither). *)
+  let busy_delta =
+    if Trace.dropped trace > 0 then 0
+    else
+      let span_busy_of id =
+        List.fold_left
+          (fun acc (r : Trace_analysis.core_report) ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt id r.Trace_analysis.per_app))
+          0 util
+      in
+      abs (span_busy_of iface.lc.App.id - iface.lc.App.busy_ns)
+      + abs (span_busy_of iface.be.App.id - iface.be.App.busy_ns)
+  in
+  let counters =
+    ("queue depth", iface.queue_series)
+    ::
+    (match iface.alloc () with
+    | Some a ->
+        [
+          ( iface.be.App.name ^ " granted cores",
+            Allocator.series a ~app:iface.be.App.id );
+        ]
+    | None -> [])
+  in
+  let trace_json = Trace_analysis.to_chrome_json ~counters trace in
+  {
+    runtime = rt_name;
+    instrumented;
+    until;
+    requests = Attribution.requests iface.lc.App.attribution;
+    mismatches =
+      Attribution.mismatches iface.lc.App.attribution
+      + Attribution.mismatches iface.be.App.attribution;
+    violations;
+    dropped = Trace.dropped trace;
+    busy_delta;
+    util;
+    rows;
+    fingerprint =
+      fingerprint_of ~trace_json ~rows ~queue_series:iface.queue_series;
+    trace_json;
+    samples =
+      (match registry with
+      | Some reg -> Registry.snapshot ~until reg
+      | None -> []);
+    injected = Injector.injected injector;
+  }
+
+(* ---- reporting ----------------------------------------------------------- *)
+
+let trace_path name = Printf.sprintf "obs_trace_%s.json" name
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let check_point p =
+  if p.requests = 0 then fail "obs-report[%s]: no requests completed" p.runtime;
+  if p.mismatches > 0 then
+    fail
+      "obs-report[%s]: %d requests whose segments do not sum to their \
+       response time"
+      p.runtime p.mismatches;
+  (match p.violations with
+  | [] -> ()
+  | v :: _ ->
+      fail "obs-report[%s]: %d trace invariant violations (first: %s)"
+        p.runtime
+        (List.length p.violations)
+        (Format.asprintf "%a" Trace_analysis.pp_violation v));
+  if p.busy_delta <> 0 then
+    fail "obs-report[%s]: trace busy time differs from accounting by %d ns"
+      p.runtime p.busy_delta
+
+let print config =
+  Report.section
+    (Printf.sprintf
+       "Observability report: attribution + trace analysis, %d cores at \
+        %.0f%% load"
+       n_workers (load_frac *. 100.));
+  let results =
+    List.map
+      (fun runtime ->
+        let on_ = run_point config ~runtime ~instrumented:true in
+        let off = run_point config ~runtime ~instrumented:false in
+        if on_.fingerprint <> off.fingerprint then
+          fail
+            "obs-report[%s]: registry-on run differs from registry-off run \
+             (%s vs %s) — observation perturbed the simulation"
+            on_.runtime on_.fingerprint off.fingerprint;
+        check_point on_;
+        on_)
+      runtimes
+  in
+  List.iter
+    (fun p ->
+      Report.subsection (Printf.sprintf "%s runtime" p.runtime);
+      Report.table
+        ~header:[ "core"; "busy%"; "busy (us)"; "idle (us)"; "spans"; "instants" ]
+        (List.map
+           (fun (r : Trace_analysis.core_report) ->
+             [
+               string_of_int r.Trace_analysis.core;
+               Report.pct (Trace_analysis.busy_share r);
+               Report.f1 (Time.to_us_float r.Trace_analysis.busy_ns);
+               Report.f1 (Time.to_us_float r.Trace_analysis.idle_ns);
+               string_of_int r.Trace_analysis.spans;
+               string_of_int r.Trace_analysis.instants;
+             ])
+           p.util);
+      Report.table
+        ~header:
+          [ "app"; "requests"; "queue (ns)"; "service (ns)"; "overhead (ns)";
+            "stall (ns)"; "response (ns)" ]
+        (List.map
+           (fun (name, a) ->
+             let mean h = Printf.sprintf "%.0f" (Histogram.mean h) in
+             [
+               name;
+               string_of_int (Attribution.requests a);
+               mean (Attribution.queueing a);
+               mean (Attribution.service a);
+               mean (Attribution.overhead a);
+               mean (Attribution.stall a);
+               mean (Attribution.response a);
+             ])
+           p.rows);
+      Printf.printf
+        "identity: queueing + service + overhead + stall = response held for \
+         %d/%d requests; %d injected faults; %d trace events dropped\n"
+        p.requests p.requests p.injected p.dropped;
+      Printf.printf "registry: %d samples; Prometheus excerpt:\n"
+        (List.length p.samples);
+      let prom = Registry.to_prometheus p.samples in
+      String.split_on_char '\n' prom
+      |> List.filteri (fun i _ -> i < 8)
+      |> List.iter (fun l -> if l <> "" then Printf.printf "  %s\n" l);
+      let path = trace_path p.runtime in
+      let oc = open_out path in
+      output_string oc p.trace_json;
+      close_out oc;
+      Printf.printf "wrote %s (Perfetto: spans + queue-depth counter track)\n"
+        path)
+    results;
+  Report.note
+    "registry-on and registry-off runs were byte-identical per runtime";
+  results

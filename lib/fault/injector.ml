@@ -161,4 +161,16 @@ let injected t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
 let injected_of t ~kind =
   Option.value (Hashtbl.find_opt t.counts kind) ~default:0
 
+let register_metrics t ?(labels = []) reg =
+  let module Registry = Skyloft_obs.Registry in
+  Registry.counter reg ~labels "skyloft_fault_injected_total"
+    ~help:"Faults injected" (fun () -> injected t);
+  List.iter
+    (fun kind ->
+      Registry.counter reg
+        ~labels:(labels @ [ ("kind", kind) ])
+        "skyloft_fault_injected_kind_total" ~help:"Faults injected by kind"
+        (fun () -> injected_of t ~kind))
+    [ "ipi-drop"; "ipi-delay"; "core-steal"; "poison"; "pkt-drop" ]
+
 let events t = List.of_seq (Queue.to_seq t.log)

@@ -48,3 +48,9 @@ val injected : t -> int
 
 val injected_of : t -> kind:string -> int
 val events : t -> event list
+
+(** [register_metrics t reg] registers the injected-fault counters, total
+    and per kind (under [skyloft_fault_*]).  Pull-based; never perturbs
+    the injection schedule. *)
+val register_metrics :
+  t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit

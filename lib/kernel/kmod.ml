@@ -139,3 +139,7 @@ let steal_core t ~core ~duration =
          end))
 
 let steals t = t.steals
+
+let register_metrics t ?(labels = []) reg =
+  Skyloft_obs.Registry.counter reg ~labels "skyloft_kmod_steals_total"
+    ~help:"Host-kernel core steals on isolated cores" (fun () -> t.steals)

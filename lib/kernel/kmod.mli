@@ -88,3 +88,8 @@ val stolen_until : t -> core:int -> Time.t option
 
 val steals : t -> int
 (** Total {!steal_core} invocations so far. *)
+
+(** [register_metrics t reg] registers the kernel module's counters (under
+    [skyloft_kmod_*]).  Pull-based; never perturbs the simulation. *)
+val register_metrics :
+  t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit

@@ -99,3 +99,13 @@ let queues t = Array.length t.rings
 let drops t = Array.fold_left (fun acc ring -> acc + Ring.dropped ring) 0 t.rings
 let received t = t.received
 let injected_drops t = t.injected_drops
+
+let register_metrics t ?(labels = []) reg =
+  let module Registry = Skyloft_obs.Registry in
+  Registry.counter reg ~labels "skyloft_nic_received_total"
+    ~help:"Packets accepted into a receive ring" (fun () -> t.received);
+  Registry.counter reg ~labels "skyloft_nic_drops_total"
+    ~help:"Packets lost to full receive rings" (fun () -> drops t);
+  Registry.counter reg ~labels "skyloft_nic_injected_drops_total"
+    ~help:"Packets dropped by the injected wire-loss predicate" (fun () ->
+      t.injected_drops)

@@ -58,3 +58,8 @@ val set_loss : t -> (Packet.t -> bool) option -> unit
     [Skyloft_fault] to model lossy links and NIC discards. *)
 
 val injected_drops : t -> int
+
+(** [register_metrics t reg] registers the NIC's packet counters (under
+    [skyloft_nic_*]).  Pull-based; never perturbs the simulation. *)
+val register_metrics :
+  t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit

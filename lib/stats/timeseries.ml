@@ -65,22 +65,31 @@ let value_at t at =
    with Exit -> ());
   !found
 
+(* Shared step-function integration: (sum of value * dt, covered span). *)
+let weighted_span t ~until =
+  let weighted = ref 0.0 and span = ref 0.0 in
+  for i = 0 to t.count - 1 do
+    let start, v = nth t i in
+    let stop = if i = t.count - 1 then max until start else fst (nth t (i + 1)) in
+    let stop = min stop (max until start) in
+    if stop > start then begin
+      let w = float_of_int (stop - start) in
+      weighted := !weighted +. (w *. float_of_int v);
+      span := !span +. w
+    end
+  done;
+  (!weighted, !span)
+
+let integrate t ~until =
+  let weighted, _ = weighted_span t ~until in
+  weighted
+
 let mean t ~until =
-  if t.count = 0 then nan
+  if t.count = 0 then 0.0
   else begin
-    let weighted = ref 0.0 and span = ref 0.0 in
-    for i = 0 to t.count - 1 do
-      let start, v = nth t i in
-      let stop = if i = t.count - 1 then max until start else fst (nth t (i + 1)) in
-      let stop = min stop (max until start) in
-      if stop > start then begin
-        let w = float_of_int (stop - start) in
-        weighted := !weighted +. (w *. float_of_int v);
-        span := !span +. w
-      end
-    done;
-    if !span = 0.0 then float_of_int (snd (nth t (t.count - 1)))
-    else !weighted /. !span
+    let weighted, span = weighted_span t ~until in
+    if span = 0.0 then float_of_int (snd (nth t (t.count - 1)))
+    else weighted /. span
   end
 
 let fold_values f init t =

@@ -30,7 +30,14 @@ val value_at : t -> Time.t -> int option
 
 val mean : t -> until:Time.t -> float
 (** Time-weighted mean of the step function from the first sample to
-    [until].  [nan] when empty. *)
+    [until].  [0.0] when empty, so an unused series renders as zero in
+    reports instead of propagating [nan] through every aggregate. *)
+
+val integrate : t -> until:Time.t -> float
+(** Time-weighted sum of the step function from the first sample to
+    [until]: [sum (value * dt)] over the covered span, in value·ns.
+    Dividing by a duration gives e.g. mean granted cores (the utilization
+    pass in [lib/obs] builds core-seconds this way).  [0.0] when empty. *)
 
 val min_value : t -> int
 val max_value : t -> int

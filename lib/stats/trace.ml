@@ -44,6 +44,12 @@ let instant t ~core ~at kind ~name = push t (Instant { core; at; kind; name })
 let events t = t.count
 let dropped t = t.dropped
 
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
 let kind_name = function
   | Preempt -> "preempt"
   | Wakeup -> "wakeup"
@@ -75,32 +81,44 @@ let escape s =
 let us t = float_of_int t /. 1_000.0
 
 (* Oldest-first iteration over the ring. *)
-let iter_events t f =
+let iter t f =
   let start = if t.count = t.capacity then t.head else 0 in
   for i = 0 to t.count - 1 do
     match t.ring.((start + i) mod t.capacity) with Some ev -> f ev | None -> ()
   done
 
+let fold t f init =
+  let acc = ref init in
+  iter t (fun ev -> acc := f !acc ev);
+  !acc
+
+let event_json ev =
+  match ev with
+  | Span { core; app; name; start; stop } ->
+      Printf.sprintf
+        {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}|}
+        (escape name) (us start)
+        (us (stop - start))
+        app core
+  | Instant { core; at; kind; name } ->
+      Printf.sprintf
+        {|{"name":"%s:%s","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
+        (kind_name kind) (escape name) (us at) core
+
+(* Trailing metadata event: a truncated trace says so instead of looking
+   complete.  Consumers ignore "M" events; analysis passes read [dropped]. *)
+let dropped_json t =
+  Printf.sprintf
+    {|{"name":"skyloft_dropped","ph":"M","pid":0,"tid":0,"args":{"dropped":%d,"retained":%d}}|}
+    t.dropped t.count
+
 let to_chrome_json t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[";
-  let first = ref true in
-  iter_events t (fun ev ->
-      if not !first then Buffer.add_string buf ",\n";
-      first := false;
-      match ev with
-      | Span { core; app; name; start; stop } ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}|}
-               (escape name) (us start)
-               (us (stop - start))
-               app core)
-      | Instant { core; at; kind; name } ->
-          Buffer.add_string buf
-            (Printf.sprintf
-               {|{"name":"%s:%s","ph":"i","ts":%.3f,"pid":0,"tid":%d,"s":"t"}|}
-               (kind_name kind) (escape name) (us at) core));
+  iter t (fun ev ->
+      Buffer.add_string buf (event_json ev);
+      Buffer.add_string buf ",\n");
+  Buffer.add_string buf (dropped_json t);
   Buffer.add_string buf "]";
   Buffer.contents buf
 

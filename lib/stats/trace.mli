@@ -10,6 +10,10 @@ module Time = Skyloft_sim.Time
 
 type t
 
+(** A retained event: either a run interval of one task on one core, or a
+    point-in-time scheduling event.  Exposed so analysis passes
+    (utilization, invariant checking — see [lib/obs]) can fold over the
+    ring without going through the JSON rendering. *)
 type instant_kind =
   | Preempt  (** the running task was preempted *)
   | Wakeup  (** a blocked task was made runnable *)
@@ -25,6 +29,10 @@ type instant_kind =
   | Alloc_degrade  (** the allocator fell back to its static policy *)
   | Alloc_recover  (** the allocator left degraded mode *)
 
+type event =
+  | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }
+  | Instant of { core : int; at : Time.t; kind : instant_kind; name : string }
+
 val create : ?capacity:int -> unit -> t
 (** Keep at most [capacity] (default 100,000) most recent events. *)
 
@@ -39,9 +47,28 @@ val events : t -> int
 val dropped : t -> int
 (** Events discarded because the ring was full. *)
 
+val clear : t -> unit
+(** Forget every retained event and reset the drop counter (reuse one
+    ring across runs without reallocating). *)
+
+val iter : t -> (event -> unit) -> unit
+(** Oldest-first iteration over the retained events. *)
+
+val fold : t -> ('a -> event -> 'a) -> 'a -> 'a
+
+val kind_name : instant_kind -> string
+(** Stable lowercase name used in exports (e.g. ["preempt"]). *)
+
+val escape : string -> string
+(** JSON string-body escaping used by the exports (shared with the
+    counter-track export in [lib/obs]). *)
+
 val to_chrome_json : t -> string
 (** The retained events in Chrome trace-event array format: spans as
     ["X"] complete events (ts/dur in µs), instants as ["i"]; [pid] is the
-    application id and [tid] the core. *)
+    application id and [tid] the core.  The array ends with one ["M"]
+    (metadata) event, [skyloft_dropped], whose [args] carry the
+    {!dropped} and retained counts — a truncated trace is self-describing
+    instead of silently incomplete. *)
 
 val write_chrome_json : t -> path:string -> unit

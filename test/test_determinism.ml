@@ -81,9 +81,30 @@ let test_sweep_fault_free_reproducible () =
   check bool "fault-free runs identical" true (p1 = p2);
   check int "nothing injected at rate 0" 0 p1.E.Fault_sweep.injected
 
+let test_obs_registry_transparent () =
+  (* Attaching the metrics registry (and snapshotting it) must not perturb
+     the simulation: the trace-and-attribution fingerprint of a registry-on
+     run must equal the registry-off run at the same seed. *)
+  let config = { E.Config.duration = Time.ms 5; seed = 7 } in
+  List.iter
+    (fun runtime ->
+      let on_ = E.Obs_report.run_point config ~runtime ~instrumented:true in
+      let off = E.Obs_report.run_point config ~runtime ~instrumented:false in
+      check bool "registry produced samples" true
+        (on_.E.Obs_report.samples <> [] && off.E.Obs_report.samples = []);
+      check string
+        (Printf.sprintf "%s: registry-on fingerprint equals registry-off"
+           on_.E.Obs_report.runtime)
+        off.E.Obs_report.fingerprint on_.E.Obs_report.fingerprint;
+      check int
+        (Printf.sprintf "%s: no attribution mismatches" on_.E.Obs_report.runtime)
+        0 on_.E.Obs_report.mismatches)
+    E.Obs_report.runtimes
+
 let suite =
   [
     test_case "trace bytes reproduce under faults" `Quick test_trace_byte_identical;
     test_case "sweep point reproduces" `Slow test_sweep_point_reproducible;
     test_case "fault-free sweep reproduces" `Quick test_sweep_fault_free_reproducible;
+    test_case "metrics registry is transparent" `Quick test_obs_registry_transparent;
   ]

@@ -13,6 +13,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
       ("sync", Test_sync.suite);
       ("properties", Test_properties.suite);

@@ -150,8 +150,31 @@ let test_summary_invalid () =
        false
      with Invalid_argument _ -> true)
 
+let test_timeseries_empty_mean () =
+  let module Timeseries = Skyloft_stats.Timeseries in
+  let s = Timeseries.create () in
+  check (Alcotest.float 1e-9) "empty mean is 0" 0.0 (Timeseries.mean s ~until:1_000);
+  check (Alcotest.float 1e-9) "empty integral is 0" 0.0
+    (Timeseries.integrate s ~until:1_000)
+
+let test_timeseries_integrate () =
+  let module Timeseries = Skyloft_stats.Timeseries in
+  let s = Timeseries.create () in
+  Timeseries.record s ~at:0 2;
+  Timeseries.record s ~at:100 6;
+  (* 2 for 100 ns, then 6 for 100 ns *)
+  check (Alcotest.float 1e-6) "integral is the step area" 800.0
+    (Timeseries.integrate s ~until:200);
+  check (Alcotest.float 1e-6) "mean is integral over window" 4.0
+    (Timeseries.mean s ~until:200);
+  (* a window ending before the last sample still integrates the prefix *)
+  check (Alcotest.float 1e-6) "prefix integral" 200.0
+    (Timeseries.integrate s ~until:100)
+
 let suite =
   [
+    Alcotest.test_case "timeseries: empty mean" `Quick test_timeseries_empty_mean;
+    Alcotest.test_case "timeseries: integrate" `Quick test_timeseries_integrate;
     Alcotest.test_case "hist: empty" `Quick test_hist_empty;
     Alcotest.test_case "hist: exact small" `Quick test_hist_exact_small_values;
     Alcotest.test_case "hist: min/max exact" `Quick test_hist_minmax_exact;
