@@ -337,6 +337,121 @@ let print_obs_bench () =
     ];
   E.Report.note "observation is pull-based: none of these costs exist inside a run"
 
+(* ---- Runtime_core dispatch loop ----------------------------------------- *)
+
+(* Real (host) cost of one trip through each runtime's dispatch loop over
+   the shared Runtime_core substrate: a fixed batch of short requests is
+   driven end to end through a small simulated machine, so the slope
+   divided by the batch size is the per-request cost of admit, dequeue,
+   switch accounting, completion and re-dispatch.  All three runtimes —
+   percpu, centralized and hybrid — run the identical lifecycle substrate;
+   the spread between them is the cost of each dispatch mechanism on top. *)
+module Machine = Skyloft_hw.Machine
+module Topology = Skyloft_hw.Topology
+module Kmod = Skyloft_kernel.Kmod
+module Coro = Skyloft_sim.Coro
+
+let core_requests_per_run = 200
+
+let core_small_machine () =
+  let engine = Skyloft_sim.Engine.create () in
+  let machine =
+    Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:8)
+  in
+  let kmod = Kmod.create machine in
+  (engine, machine, kmod)
+
+let core_drive engine submit =
+  for i = 0 to core_requests_per_run - 1 do
+    ignore
+      (Skyloft_sim.Engine.at engine (i * Time'.us 2) (fun () -> submit ()))
+  done;
+  (* periodic timers (per-core ticks, the hybrid monitor) re-arm forever,
+     so the run is bounded; 1 ms covers the 400 us arrival window. *)
+  Skyloft_sim.Engine.run ~until:(Time'.ms 1) engine
+
+let core_request () = Coro.Compute (Time'.us 1, fun () -> Coro.Exit)
+
+let bench_core_percpu () =
+  let engine, machine, kmod = core_small_machine () in
+  let rt =
+    Skyloft.Percpu.create machine kmod
+      ~cores:[ 0; 1; 2; 3; 4 ]
+      (Skyloft_policies.Work_stealing.create ~quantum:(Time'.us 30) ())
+  in
+  let lc = Skyloft.Percpu.create_app rt ~name:"lc" in
+  core_drive engine (fun () ->
+      ignore (Skyloft.Percpu.spawn rt lc ~name:"r" ~record:false (core_request ())))
+
+let bench_core_centralized () =
+  let engine, machine, kmod = core_small_machine () in
+  let rt =
+    Skyloft.Centralized.create machine kmod ~dispatcher_core:0
+      ~worker_cores:[ 1; 2; 3; 4 ] ~quantum:(Time'.us 30)
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let lc = Skyloft.Centralized.create_app rt ~name:"lc" in
+  core_drive engine (fun () ->
+      ignore
+        (Skyloft.Centralized.submit rt lc ~name:"r" ~record:false
+           (core_request ())))
+
+let bench_core_hybrid () =
+  let engine, machine, kmod = core_small_machine () in
+  let rt =
+    Skyloft.Hybrid.create machine kmod ~dispatcher_core:0
+      ~worker_cores:[ 1; 2; 3; 4 ] ~quantum:(Time'.us 30)
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let lc = Skyloft.Hybrid.create_app rt ~name:"lc" in
+  core_drive engine (fun () ->
+      ignore
+        (Skyloft.Hybrid.submit rt lc ~name:"r" ~record:false (core_request ())))
+
+let core_runtime_names = [ "percpu"; "centralized"; "hybrid" ]
+
+let core_tests =
+  Test.make_grouped ~name:"runtime-core"
+    [
+      Test.make ~name:"percpu" (Staged.stage bench_core_percpu);
+      Test.make ~name:"centralized" (Staged.stage bench_core_centralized);
+      Test.make ~name:"hybrid" (Staged.stage bench_core_hybrid);
+    ]
+
+let bench_core_json_path = "BENCH_core.json"
+
+let print_core_bench () =
+  E.Report.section
+    "Runtime_core dispatch loop (Bechamel; one short request end to end)";
+  let results = run_bench core_tests in
+  let per_req name =
+    estimate results (Printf.sprintf "runtime-core/%s" name)
+    /. float_of_int core_requests_per_run
+  in
+  E.Report.table
+    ~header:[ "runtime"; "ns per request (this host)" ]
+    (List.map
+       (fun name -> [ name; Printf.sprintf "%.0f" (per_req name) ])
+       core_runtime_names);
+  E.Report.note "all three runtimes share the Runtime_core lifecycle substrate;";
+  E.Report.note "the spread is each dispatch mechanism's cost on top of it";
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"requests_per_run\": %d,\n" core_requests_per_run);
+  Buffer.add_string buf "  \"ns_per_request\": {\n";
+  List.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %.1f%s\n" name (per_req name)
+           (if i = List.length core_runtime_names - 1 then "" else ",")))
+    core_runtime_names;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out bench_core_json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  E.Report.note "dispatch-loop overhead written to %s" bench_core_json_path
+
 (* The determinism artifact: per runtime, the attribution means and the
    fingerprints of the registry-on and registry-off runs — the two must be
    identical, proving observation never perturbs the simulation. *)
@@ -418,6 +533,7 @@ let () =
   print_sim_bench ();
   print_alloc_bench ();
   print_obs_bench ();
+  print_core_bench ();
 
   (* Tables. *)
   ignore (E.Tables.print_table4 ());

@@ -73,8 +73,14 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
       "threading operation costs (model; see bench for measured)",
       fun _ -> ignore (E.Tables.print_table7_model ()) );
     ("appswitch", "inter-application switch cost", fun _ -> E.Tables.print_appswitch ());
-    ("ablations", "design-choice ablations (tick tax, 2a-vs-2b, dispatcher scaling, NIC modes)",
+    ("ablations", "design-choice ablations (tick tax, 2a-vs-2b, dispatcher scaling, NIC modes, hybrid)",
      E.Ablations.print);
+    ( "hybrid",
+      "hybrid runtime vs both parents (ablation A5 only)",
+      fun c -> ignore (E.Ablations.a5_hybrid_vs_parents c) );
+    ( "golden",
+      "print the determinism golden fingerprints (fixed seeds)",
+      fun _ -> E.Golden.print () );
   ]
 
 let all_cmd config =

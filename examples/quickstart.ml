@@ -1,6 +1,7 @@
 (* Quickstart: build a simulated machine, start the Skyloft per-CPU runtime
    with the Round-Robin policy and user-space timer preemption, run a mixed
-   workload, and look at what happened.
+   workload, and look at what happened.  Part two runs a burst through the
+   hybrid runtime and watches it switch dispatch modes under load.
 
      dune exec examples/quickstart.exe *)
 
@@ -67,4 +68,51 @@ let () =
     (Format.asprintf "%a" Time.pp (Histogram.percentile short_latencies 50.0))
     (Format.asprintf "%a" Time.pp (Histogram.percentile short_latencies 99.0));
   Printf.printf
-    "=> without the 50us time slice every short would have waited ~2ms\n"
+    "=> without the 50us time slice every short would have waited ~2ms\n";
+
+  (* 5. The hybrid runtime on a fresh machine: centralized dispatch while
+     the shared queue is shallow (best low-load tail), per-CPU preemption
+     timers once it deepens (no serial-dispatcher ceiling).  A quiet
+     trickle keeps it in Central mode; a mid-run burst pushes the queue
+     past the threshold and the monitor hands the cores over — then back
+     once the burst drains. *)
+  let engine = Engine.create ~seed:7 () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Skyloft.Hybrid.create machine kmod ~dispatcher_core:0 ~worker_cores:[ 1; 2; 3 ]
+      ~quantum:(Time.us 30)
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let app = Skyloft.Hybrid.create_app rt ~name:"quickstart-hybrid" in
+  for i = 1 to 30 do
+    ignore
+      (Engine.at engine (Time.us (100 * i)) (fun () ->
+           ignore
+             (Skyloft.Hybrid.submit rt app
+                ~name:(Printf.sprintf "trickle-%d" i)
+                ~service:(Time.us 10)
+                (Coro.compute_then_exit (Time.us 10)))))
+  done;
+  ignore
+    (Engine.at engine (Time.ms 1) (fun () ->
+         for i = 1 to 24 do
+           ignore
+             (Skyloft.Hybrid.submit rt app
+                ~name:(Printf.sprintf "burst-%d" i)
+                ~service:(Time.us 40)
+                (Coro.compute_then_exit (Time.us 40)))
+         done));
+  Engine.run ~until:(Time.ms 5) engine;
+  Printf.printf "\nhybrid runtime: %d requests, %d dispatcher assignments,\n"
+    app.App.completed
+    (Skyloft.Hybrid.dispatches rt);
+  Printf.printf "%d timer ticks, %d mode switches (ends in %s mode)\n"
+    (Skyloft.Hybrid.timer_ticks rt)
+    (Skyloft.Hybrid.mode_switches rt)
+    (match Skyloft.Hybrid.mode rt with
+    | Skyloft.Hybrid.Central -> "central"
+    | Skyloft.Hybrid.Percore -> "percore");
+  Printf.printf
+    "=> the burst crossed the depth threshold: per-core timers took over,\n";
+  Printf.printf "   then the dispatcher got the cores back as the queue drained\n"

@@ -1,7 +1,8 @@
 (* Tracing the scheduler: run a mixed workload with two applications under
    preemptive work stealing, record every run span and scheduling event,
    and export a Chrome trace (open chrome://tracing or https://ui.perfetto.dev
-   and load the JSON).
+   and load the JSON).  A second trace captures the hybrid runtime under a
+   burst, where the mode handovers show up as "mode-switch" instants.
 
      dune exec examples/trace_scheduling.exe *)
 
@@ -52,4 +53,56 @@ let () =
   Printf.printf "wrote %s — load it in chrome://tracing or ui.perfetto.dev\n" path;
   Printf.printf
     "=> rows are cores; spans show req-* slotting between batch chunks via\n";
-  Printf.printf "   20us quantum preemption and cross-app kthread switches\n"
+  Printf.printf "   20us quantum preemption and cross-app kthread switches\n";
+
+  (* Second trace: the hybrid runtime under a burst.  The monitor's mode
+     handovers — dispatcher to per-core timers and back — land in the
+     trace as "mode-switch" instants on the dispatcher core. *)
+  let engine = Engine.create ~seed:21 () in
+  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
+  let kmod = Kmod.create machine in
+  let rt =
+    Skyloft.Hybrid.create machine kmod ~dispatcher_core:0 ~worker_cores:[ 1; 2; 3 ]
+      ~quantum:(Time.us 20)
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let trace = Trace.create () in
+  Skyloft.Hybrid.set_trace rt trace;
+  let lc = Skyloft.Hybrid.create_app rt ~name:"service" in
+  for i = 1 to 20 do
+    ignore
+      (Engine.at engine (Time.us (37 * i)) (fun () ->
+           ignore
+             (Skyloft.Hybrid.submit rt lc
+                ~name:(Printf.sprintf "req-%d" i)
+                ~service:(Time.us 15)
+                (Coro.compute_then_exit (Time.us 15)))))
+  done;
+  ignore
+    (Engine.at engine (Time.us 300) (fun () ->
+         for i = 1 to 16 do
+           ignore
+             (Skyloft.Hybrid.submit rt lc
+                ~name:(Printf.sprintf "burst-%d" i)
+                ~service:(Time.us 30)
+                (Coro.compute_then_exit (Time.us 30)))
+         done));
+  Engine.run ~until:(Time.ms 1) engine;
+  let mode_instants =
+    Trace.fold trace
+      (fun acc ev ->
+        match ev with
+        | Trace.Instant { kind = Trace.Mode_switch; _ } -> acc + 1
+        | _ -> acc)
+      0
+  in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "skyloft_hybrid_trace.json" in
+  Trace.write_chrome_json trace ~path;
+  Printf.printf "\nhybrid: %d requests, %d mode switches (%d instants in the trace)\n"
+    lc.App.completed
+    (Skyloft.Hybrid.mode_switches rt)
+    mode_instants;
+  Printf.printf "wrote %s\n" path;
+  Printf.printf
+    "=> find the mode-switch instants on core 0: dispatch spans before,\n";
+  Printf.printf "   timer-tick preemption spans after, until the burst drains\n"

@@ -1,19 +1,20 @@
 module Time = Skyloft_sim.Time
 module Coro = Skyloft_sim.Coro
 module Engine = Skyloft_sim.Engine
-module Eventq = Skyloft_sim.Eventq
 module Machine = Skyloft_hw.Machine
 module Costs = Skyloft_hw.Costs
 module Vectors = Skyloft_hw.Vectors
 module Kmod = Skyloft_kernel.Kmod
-module Summary = Skyloft_stats.Summary
-module Histogram = Skyloft_stats.Histogram
 module Trace = Skyloft_stats.Trace
-module Timeseries = Skyloft_stats.Timeseries
-module Alloc_policy = Skyloft_alloc.Policy
 module Allocator = Skyloft_alloc.Allocator
 module Registry = Skyloft_obs.Registry
-module Attribution = Skyloft_obs.Attribution
+module Rc = Runtime_core
+
+(* The centralized runtime is Runtime_core plus its DISPATCH substrate: a
+   dedicated dispatcher core modelled as a serial resource that assigns
+   work to workers and preempts over-quantum requests with IPIs
+   (Shinjuku-style PS).  Lifecycle, accounting, BE occupancy, deadlines,
+   allocator and metrics all live in the core. *)
 
 type mechanism = {
   mech_name : string;
@@ -60,250 +61,85 @@ let ghost_mechanism =
   }
 
 type worker = {
-  core_id : int;
-  mutable current : Task.t option;
-  mutable completion : Eventq.handle option;
+  ex : Rc.exec;
   mutable gen : int;  (* assignment generation, guards stale events *)
   mutable reserved : bool;  (* an assignment is in flight *)
   mutable incoming : int;  (* app of the in-flight assignment; -1 if none *)
-  mutable busy_from : Time.t;
-  mutable active_app : int;
-  mutable stolen_until : Time.t;  (* host-kernel steal in progress until *)
 }
 
 type t = {
-  machine : Machine.t;
-  engine : Engine.t;
-  kmod : Kmod.t;
+  rc : Rc.t;
   dispatcher_core : int;
   workers : worker array;
   mech : mechanism;
   quantum : Time.t;
   alloc_cfg : Allocator.config;
   immediate : bool;  (* preempt BE the instant an LC request cannot place *)
-  mutable allocator : Allocator.t option;
-  mutable be_allowance : int;  (* cores BE tasks may occupy right now *)
-  mutable policy : Sched_ops.instance;
-  mutable probe : Sched_ops.probe;
   mutable disp_busy_until : Time.t;
-  kthreads : (int * int, Kmod.kthread) Hashtbl.t;
-  mutable apps : App.t list;
-  daemon : App.t;
-  mutable be_app : App.t option;
-  be_queue : Runqueue.t;
-  mutable preempts : int;
-  mutable be_preempts : int;
   mutable dispatches : int;
-  watchdog : Time.t option;
-  rescue_detect : Histogram.t;
-  queue_depth : Timeseries.t;  (* LC policy queue length over time *)
-  mutable rescues : int;
   mutable failovers : int;
-  mutable deadline_drops : int;
-  mutable trace : Trace.t option;
 }
 
-let now t = Engine.now t.engine
+let now t = Rc.now t.rc
 let quantum t = t.quantum
-
-let trace_instant t ~core kind name =
-  match t.trace with
-  | Some trace -> Trace.instant trace ~core ~at:(now t) kind ~name
-  | None -> ()
-
-let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = id) t.apps
-
-let is_be t (task : Task.t) =
-  match t.be_app with Some app -> task.app = app.App.id | None -> false
-
-(* Workers the BE application occupies right now, counting in-flight
-   assignments so the allowance cannot be oversubscribed while a dispatch
-   is pending. *)
-let be_occupancy t =
-  match t.be_app with
-  | None -> 0
-  | Some app ->
-      Array.fold_left
-        (fun acc w ->
-          let running =
-            match w.current with
-            | Some task -> task.Task.app = app.App.id
-            | None -> false
-          in
-          if running || w.incoming = app.App.id then acc + 1 else acc)
-        0 t.workers
-
-let account t w =
-  (match w.current with
-  | Some task ->
-      let app = find_app t task.Task.app in
-      app.App.busy_ns <- app.App.busy_ns + max 0 (now t - w.busy_from);
-      (match t.trace with
-      | Some trace when now t > w.busy_from ->
-          Trace.span trace ~core:w.core_id ~app:task.Task.app
-            ~name:task.Task.name ~start:w.busy_from ~stop:(now t)
-      | _ -> ())
-  | None -> ());
-  w.busy_from <- now t
 
 (* The dispatcher is a serial resource; [f] runs when it has spent [cost]
    on this operation. *)
 let dispatcher_do t cost f =
   let start = max (now t) t.disp_busy_until in
   t.disp_busy_until <- start + cost;
-  ignore (Engine.at t.engine (start + cost) f)
+  ignore (Engine.at t.rc.Rc.engine (start + cost) f)
 
 (* ---- worker-side execution ---------------------------------------------- *)
 
-let rec process t w (task : Task.t) =
-  match task.body with
-  | Coro.Compute (d, k) ->
-      task.cont <- k;
-      task.segment_end <- now t + d;
-      w.completion <-
-        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t w task))
-  | Coro.Yield _ ->
-      (* continuation evaluated at the next dispatch (resume time) *)
-      task.state <- Task.Runnable;
-      account t w;
-      w.current <- None;
-      w.gen <- w.gen + 1;
-      task.obs_enq_at <- now t;
-      if is_be t task then Runqueue.push_tail t.be_queue task
-      else
-        t.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_yielded task;
-      try_next t w
-  | Coro.Block k ->
-      if task.pending_wake then begin
-        task.pending_wake <- false;
-        task.body <- k ();
-        process t w task
-      end
-      else begin
-        task.body <- Coro.Block k;
-        task.state <- Task.Blocked;
-        account t w;
-        w.current <- None;
-        w.gen <- w.gen + 1;
-        task.obs_block_at <- now t;
-        t.policy.task_block ~cpu:w.core_id task;
-        try_next t w
-      end
-  | Coro.Exit ->
-      task.state <- Task.Exited;
-      account t w;
-      w.current <- None;
-      w.gen <- w.gen + 1;
-      let app = find_app t task.app in
-      app.App.completed <- app.App.completed + 1;
-      app.App.tasks_alive <- app.App.tasks_alive - 1;
-      t.policy.task_terminate task;
-      (match task.on_exit with Some f -> f task | None -> ());
-      try_next t w
-
-and on_complete t w (task : Task.t) =
-  w.completion <- None;
-  task.body <- task.cont ();
-  process t w task
-
-and start_on t w (task : Task.t) =
+let rec start_on t w (task : Task.t) =
   w.reserved <- false;
   w.incoming <- -1;
   t.dispatches <- t.dispatches + 1;
   let switch_cost =
-    if task.Task.app = w.active_app then t.mech.worker_switch
-    else begin
-      let from_kt = Hashtbl.find t.kthreads (w.active_app, w.core_id) in
-      let to_kt = Hashtbl.find t.kthreads (task.Task.app, w.core_id) in
-      let cost = Kmod.switch_to t.kmod ~from:from_kt ~target:to_kt in
-      w.active_app <- task.Task.app;
-      cost
-    end
+    if task.Task.app = w.ex.Rc.active_app then t.mech.worker_switch
+    else Rc.app_switch t.rc w.ex task
   in
-  task.state <- Task.Running;
-  task.wake_time <- None;
-  task.obs_queued_ns <- task.obs_queued_ns + max 0 (now t - task.obs_enq_at);
-  task.obs_overhead_ns <- task.obs_overhead_ns + switch_cost;
-  w.current <- Some task;
-  w.busy_from <- now t;
+  task.Task.wake_time <- None;
+  let start = Rc.begin_run t.rc w.ex task ~switch_cost in
   w.gen <- w.gen + 1;
   let gen = w.gen in
-  let start = now t + switch_cost in
-  task.run_start <- start;
-  task.last_core <- w.core_id;
   (* Arm the quantum timer for LC work (Shinjuku-style PS). *)
-  if t.quantum > 0 && not (is_be t task) then
+  if t.quantum > 0 && not (Rc.is_be t.rc task) then
     ignore
-      (Engine.at t.engine (start + t.quantum) (fun () -> quantum_check t w task gen));
-  ignore
-    (Engine.after t.engine switch_cost (fun () ->
-         match w.current with
-         | Some cur when cur == task && task.state = Task.Running ->
-             (match task.body with
-             | Coro.Yield k -> task.body <- k ()
-             | Coro.Block k when task.resuming ->
-                 task.resuming <- false;
-                 task.body <- k ()
-             | Coro.Block _ | Coro.Compute _ | Coro.Exit -> ());
-             process t w task
-         | _ -> ()))
+      (Engine.at t.rc.Rc.engine (start + t.quantum) (fun () ->
+           quantum_check t w task gen));
+  Rc.run_after_switch t.rc w.ex task ~switch_cost
 
 and assign t w (task : Task.t) =
   w.reserved <- true;
   w.incoming <- task.Task.app;
   dispatcher_do t t.mech.dispatch_cost (fun () -> start_on t w task)
 
-(* Dequeue, discarding tasks killed while they waited (deadline kills of
-   Runnable tasks are lazy; the drop was accounted at kill time). *)
-and next_lc t w =
-  match t.policy.task_dequeue ~cpu:w.core_id with
-  | Some task when task.Task.killed ->
-      task.Task.state <- Task.Exited;
-      t.policy.task_terminate task;
-      next_lc t w
-  | other -> other
-
-and next_be t =
-  match Runqueue.pop_head t.be_queue with
-  | Some be when be.Task.killed ->
-      be.Task.state <- Task.Exited;
-      next_be t
-  | other -> other
-
 and try_next t w =
-  if not w.reserved && w.current = None then begin
-    match next_lc t w with
+  if (not w.reserved) && w.ex.Rc.current = None then begin
+    match
+      Rc.next_live t.rc (fun () ->
+          t.rc.Rc.policy.task_dequeue ~cpu:w.ex.Rc.exec_core)
+    with
     | Some task -> assign t w task
     | None ->
         (* BE work only on cores inside the allocator's current grant *)
-        if be_occupancy t < t.be_allowance then (
-          match next_be t with Some be -> assign t w be | None -> ())
+        if Rc.be_occupancy t.rc < t.rc.Rc.be_allowance then (
+          match Rc.next_live t.rc (fun () -> Runqueue.pop_head t.rc.Rc.be_queue) with
+          | Some be -> assign t w be
+          | None -> ())
   end
 
 (* Preemption of the task currently on [w]; the caller already charged the
    delivery latency.  [requeue] decides where the preempted task goes. *)
 and do_preempt t w gen ~requeue =
-  match (w.current, w.completion) with
-  | Some task, Some h when w.gen = gen ->
-      Eventq.cancel h;
-      w.completion <- None;
-      (* Worker-side handling overhead runs before the switch.  It is
-         charged to the task now even though its wall time elapses inside
-         the inflated remaining segment — the attribution identity holds
-         either way because the response time counts it exactly once. *)
-      let overhead = t.mech.preempt_receive in
-      let remaining = max 0 (task.segment_end - now t) + overhead in
-      task.body <- Coro.Compute (remaining, task.cont);
-      task.state <- Task.Runnable;
-      task.obs_overhead_ns <- task.obs_overhead_ns + overhead;
-      account t w;
-      w.current <- None;
-      w.gen <- w.gen + 1;
-      task.obs_enq_at <- now t;
-      trace_instant t ~core:w.core_id Trace.Preempt task.Task.name;
-      requeue task;
-      try_next t w
-  | _ -> ()
+  if w.gen = gen then
+    match Rc.depose t.rc w.ex ~overhead:t.mech.preempt_receive with
+    | Some task ->
+        requeue task;
+        try_next t w
+    | None -> ()
 
 (* The preemption notification in flight from dispatcher to worker.  Its
    modeled delivery path is an engine delay, so injected IPI faults are
@@ -311,50 +147,53 @@ and do_preempt t w gen ~requeue =
    (the §3.2 lost-wakeup window — the watchdog is the backstop), a delayed
    one stretches the delivery latency. *)
 and deliver_preempt t w gen ~requeue =
-  match Machine.fault_fate t.machine ~core:w.core_id Vectors.uintr_notification with
+  match
+    Machine.fault_fate t.rc.Rc.machine ~core:w.ex.Rc.exec_core
+      Vectors.uintr_notification
+  with
   | Machine.Drop -> ()
   | Machine.Delay d ->
       ignore
-        (Engine.after t.engine (t.mech.preempt_delivery + d) (fun () ->
+        (Engine.after t.rc.Rc.engine (t.mech.preempt_delivery + d) (fun () ->
              do_preempt t w gen ~requeue))
   | Machine.Deliver ->
       ignore
-        (Engine.after t.engine t.mech.preempt_delivery (fun () ->
+        (Engine.after t.rc.Rc.engine t.mech.preempt_delivery (fun () ->
              do_preempt t w gen ~requeue))
 
 and quantum_check t w (task : Task.t) gen =
   let still_running =
-    match w.current with Some cur -> cur == task && w.gen = gen | None -> false
+    match w.ex.Rc.current with
+    | Some cur -> cur == task && w.gen = gen
+    | None -> false
   in
   if still_running then begin
-    t.preempts <- t.preempts + 1;
+    t.rc.Rc.preempts <- t.rc.Rc.preempts + 1;
     dispatcher_do t t.mech.preempt_send (fun () ->
         deliver_preempt t w gen ~requeue:(fun task ->
-            t.policy.task_enqueue ~cpu:t.dispatcher_core
+            t.rc.Rc.policy.task_enqueue ~cpu:t.dispatcher_core
               ~reason:Sched_ops.Enq_preempted task))
   end
 
 let preempt_be_worker t w =
-  match w.current with
-  | Some task when is_be t task && w.completion <> None ->
+  match w.ex.Rc.current with
+  | Some task when Rc.is_be t.rc task && w.ex.Rc.completion <> None ->
       let gen = w.gen in
-      t.be_preempts <- t.be_preempts + 1;
+      t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1;
       dispatcher_do t t.mech.preempt_send (fun () ->
           deliver_preempt t w gen ~requeue:(fun task ->
-              Runqueue.push_head t.be_queue task));
+              Runqueue.push_head t.rc.Rc.be_queue task));
       true
   | _ -> false
 
 (* ---- watchdog: dispatcher failover + stuck-worker rescue ----------------- *)
 
-let rescue_worker t w (task : Task.t) ~late =
-  t.rescues <- t.rescues + 1;
-  Histogram.record t.rescue_detect late;
-  trace_instant t ~core:w.core_id Trace.Watchdog_rescue task.Task.name;
+let rescue_worker t w ~late =
+  Rc.rescued t.rc w.ex ~late;
   do_preempt t w w.gen ~requeue:(fun task ->
-      if is_be t task then Runqueue.push_head t.be_queue task
+      if Rc.is_be t.rc task then Runqueue.push_head t.rc.Rc.be_queue task
       else
-        t.policy.task_enqueue ~cpu:t.dispatcher_core
+        t.rc.Rc.policy.task_enqueue ~cpu:t.dispatcher_core
           ~reason:Sched_ops.Enq_preempted task)
 
 let watchdog_scan t ~bound =
@@ -365,44 +204,28 @@ let watchdog_scan t ~bound =
      complete at their scheduled times. *)
   if t.disp_busy_until > now t + bound then begin
     t.failovers <- t.failovers + 1;
-    trace_instant t ~core:t.dispatcher_core Trace.Failover "dispatcher";
+    Rc.trace_instant t.rc ~core:t.dispatcher_core Trace.Failover "dispatcher";
     t.disp_busy_until <- now t + Costs.app_switch_ns
   end;
   Array.iter
     (fun w ->
-      if now t >= w.stolen_until then
-        match w.current with
-        | Some task when w.completion <> None ->
+      if now t >= w.ex.Rc.stolen_until then
+        match w.ex.Rc.current with
+        | Some task when w.ex.Rc.completion <> None ->
             (* A quantum-sized run is legitimate; a full bound past the
                expected preemption point means the preemption was lost. *)
             let allowed =
-              bound + if t.quantum > 0 && not (is_be t task) then t.quantum else 0
+              bound
+              + if t.quantum > 0 && not (Rc.is_be t.rc task) then t.quantum else 0
             in
             let overrun = now t - task.Task.run_start - allowed in
-            if overrun > 0 then rescue_worker t w task ~late:overrun
+            if overrun > 0 then rescue_worker t w ~late:overrun
         | _ -> ())
     t.workers
 
-(* Host-kernel steal of a worker core: the running segment freezes for the
-   outage and resumes at hand-back; run_start moves with it so the quantum
-   and watchdog clocks do not count stolen time against the task. *)
-let on_worker_steal t w ~duration =
-  w.stolen_until <- max w.stolen_until (now t + duration);
-  match (w.current, w.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
-      task.Task.segment_end <- task.Task.segment_end + duration;
-      task.Task.run_start <- task.Task.run_start + duration;
-      task.Task.obs_stall_ns <- task.Task.obs_stall_ns + duration;
-      w.completion <-
-        Some
-          (Engine.at t.engine task.Task.segment_end (fun () ->
-               on_complete t w task))
-  | _ -> ()
-
 (* ---- core allocation ----------------------------------------------------- *)
 
-let queue_length t = t.probe.Sched_ops.queued ()
+let queue_length t = t.rc.Rc.probe.Sched_ops.queued ()
 
 (* Change how many workers BE may occupy.  Shrinking preempts the excess
    BE workers with user IPIs; the next LC dispatch on those cores goes
@@ -410,10 +233,10 @@ let queue_length t = t.probe.Sched_ops.queued ()
    cost.  Growing kicks idle workers so they pick up BE work (again paying
    the switch cost at dispatch). *)
 let set_be_allowance t n =
-  let old = t.be_allowance in
-  t.be_allowance <- n;
+  let old = t.rc.Rc.be_allowance in
+  t.rc.Rc.be_allowance <- n;
   if n < old then begin
-    let excess = ref (be_occupancy t - n) in
+    let excess = ref (Rc.be_occupancy t.rc - n) in
     if !excess > 0 then
       Array.iter
         (fun w -> if !excess > 0 && preempt_be_worker t w then decr excess)
@@ -421,43 +244,7 @@ let set_be_allowance t n =
   end
   else if n > old then Array.iter (fun w -> try_next t w) t.workers
 
-(* Busy nanoseconds including the in-flight segment of running workers, so
-   the allocator's utilization sample does not lag long-running tasks. *)
-let in_flight_busy t ~matches =
-  Array.fold_left
-    (fun acc w ->
-      match w.current with
-      | Some task when matches task.Task.app -> acc + max 0 (now t - w.busy_from)
-      | _ -> acc)
-    0 t.workers
-
-let lc_busy_ns t =
-  let be_id = match t.be_app with Some app -> app.App.id | None -> -1 in
-  let recorded =
-    List.fold_left
-      (fun acc (a : App.t) -> if a.App.id = be_id then acc else acc + a.App.busy_ns)
-      t.daemon.App.busy_ns t.apps
-  in
-  recorded + in_flight_busy t ~matches:(fun id -> id <> be_id)
-
-let be_busy_ns t (app : App.t) =
-  app.App.busy_ns + in_flight_busy t ~matches:(fun id -> id = app.App.id)
-
 (* ---- construction -------------------------------------------------------- *)
-
-let worker_view t =
-  {
-    Sched_ops.cores = Array.map (fun w -> w.core_id) t.workers;
-    is_idle =
-      (fun core ->
-        Array.exists (fun w -> w.core_id = core && w.current = None) t.workers);
-    now = (fun () -> now t);
-  }
-
-let register_kthread t app_id core =
-  let kt = Kmod.park_on_cpu t.kmod ~app:app_id ~core in
-  Hashtbl.replace t.kthreads (app_id, core) kt;
-  kt
 
 let create machine kmod ~dispatcher_core ~worker_cores ~quantum
     ?(mechanism = skyloft_mechanism) ?alloc ?(immediate = false) ?watchdog ctor =
@@ -473,155 +260,80 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
     Array.of_list
       (List.map
          (fun core_id ->
-           {
-             core_id;
-             current = None;
-             completion = None;
-             gen = 0;
-             reserved = false;
-             incoming = -1;
-             busy_from = 0;
-             active_app = 0;
-             stolen_until = 0;
-           })
+           { ex = Rc.make_exec core_id; gen = 0; reserved = false; incoming = -1 })
          worker_cores)
   in
   let t =
     {
-      machine;
-      engine = Machine.engine machine;
-      kmod;
+      rc = Rc.create machine kmod ~record_wakeups:false ~trace_app_switches:false;
       dispatcher_core;
       workers;
       mech = mechanism;
       quantum;
       alloc_cfg = alloc;
       immediate;
-      allocator = None;
-      be_allowance = Array.length workers;
-      policy = Sched_ops.null_instance;
-      probe = { Sched_ops.queued = (fun () -> 0); oldest_wait = (fun () -> 0) };
       disp_busy_until = 0;
-      kthreads = Hashtbl.create 64;
-      apps = [];
-      daemon = App.daemon ();
-      be_app = None;
-      be_queue = Runqueue.create ();
-      preempts = 0;
-      be_preempts = 0;
       dispatches = 0;
-      watchdog;
-      rescue_detect = Histogram.create ();
-      queue_depth = Timeseries.create ();
-      rescues = 0;
       failovers = 0;
-      deadline_drops = 0;
-      trace = None;
     }
   in
-  let policy, probe =
-    Sched_ops.instrument
-      ~now:(fun () -> now t)
-      ~on_change:(fun n -> Timeseries.record t.queue_depth ~at:(now t) n)
-      (ctor (worker_view t))
-  in
-  t.policy <- policy;
-  t.probe <- probe;
+  let by_core = Hashtbl.create 16 in
+  Array.iter (fun w -> Hashtbl.replace by_core w.ex.Rc.exec_core w) workers;
+  Rc.install_dispatch t.rc
+    {
+      Rc.d_name = "centralized";
+      d_units = Array.map (fun w -> w.ex) workers;
+      d_enqueue_cpu = (fun _ -> t.dispatcher_core);
+      d_incoming_app =
+        (fun ex -> (Hashtbl.find by_core ex.Rc.exec_core).incoming);
+      d_released = (fun ex -> let w = Hashtbl.find by_core ex.Rc.exec_core in
+                              w.gen <- w.gen + 1);
+      d_reschedule =
+        (fun ex ~prev:_ -> try_next t (Hashtbl.find by_core ex.Rc.exec_core));
+    };
+  Rc.install_policy t.rc ctor;
   Array.iter
     (fun w ->
-      let kt = register_kthread t 0 w.core_id in
+      let kt = Rc.add_kthread t.rc ~app:0 ~core:w.ex.Rc.exec_core in
       ignore (Kmod.activate kmod kt))
     workers;
   Array.iter
     (fun w ->
-      Kmod.on_steal kmod ~core:w.core_id (fun ~duration ->
-          on_worker_steal t w ~duration))
+      Kmod.on_steal kmod ~core:w.ex.Rc.exec_core (fun ~duration ->
+          Rc.freeze_for_steal t.rc w.ex ~duration))
     workers;
   Kmod.on_steal kmod ~core:dispatcher_core (fun ~duration ->
       t.disp_busy_until <- max t.disp_busy_until (now t + duration));
-  (match watchdog with
-  | Some bound ->
-      Engine.every t.engine ~period:(max 1 (bound / 2)) (fun () ->
-          watchdog_scan t ~bound;
-          true)
-  | None -> ());
+  Rc.start_watchdog t.rc ~bound:watchdog (fun ~bound -> watchdog_scan t ~bound);
   t
 
 let create_app t ~name =
-  let app = App.create ~name in
-  t.apps <- app :: t.apps;
-  Array.iter (fun w -> ignore (register_kthread t app.App.id w.core_id)) t.workers;
+  let app = Rc.new_app t.rc ~name in
+  Array.iter
+    (fun w -> ignore (Rc.add_kthread t.rc ~app:app.App.id ~core:w.ex.Rc.exec_core))
+    t.workers;
   app
 
 let attach_be_app t app ~chunk ~workers =
-  if t.be_app <> None then invalid_arg "Centralized.attach_be_app: BE app already set";
-  if not (List.exists (fun a -> a == app) t.apps) then
-    invalid_arg "Centralized.attach_be_app: app not created by this runtime";
-  t.be_app <- Some app;
-  for i = 1 to workers do
-    (* A batch worker is an endless sequence of compute chunks, yielding
-       between chunks so reclaimed cores come back promptly. *)
-    let rec loop () = Coro.Compute (chunk, fun () -> Coro.Yield loop) in
-    let task =
-      Task.create ~app:app.App.id ~name:(Printf.sprintf "be-%d" i) (loop ())
-    in
-    app.App.spawned <- app.App.spawned + 1;
-    app.App.tasks_alive <- app.App.tasks_alive + 1;
-    Runqueue.push_tail t.be_queue task
-  done;
+  Rc.spawn_be_workers t.rc app ~chunk ~workers
+    ~who:"Centralized.attach_be_app";
   (* Core allocation: the allocator arbitrates LC vs BE core ownership from
      here on.  BE starts at its burstable ceiling (all cores by default) and
      the policy reclaims cores as LC congestion appears. *)
-  let total = Array.length t.workers in
-  let cfg = t.alloc_cfg in
-  let burst = min (Option.value cfg.Allocator.be_burstable ~default:total) total in
-  let guar = min (max 0 cfg.Allocator.be_guaranteed) burst in
-  t.be_allowance <- burst;
-  let alloc =
-    Allocator.create ~engine:t.engine ~policy:cfg.Allocator.policy
-      ~interval:cfg.Allocator.interval ~total_cores:total
-      ~on_event:(fun ev ->
-        match ev.Allocator.action with
-        | Allocator.Degraded ->
-            trace_instant t ~core:t.dispatcher_core Trace.Alloc_degrade
-              ev.Allocator.app_name
-        | Allocator.Recovered ->
-            trace_instant t ~core:t.dispatcher_core Trace.Alloc_recover
-              ev.Allocator.app_name
-        | Allocator.Granted | Allocator.Reclaimed | Allocator.Yielded -> ())
-      ?degrade_after:cfg.Allocator.degrade_after ()
-  in
-  Allocator.register alloc ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
-    ~bounds:{ Allocator.guaranteed = 0; burstable = total }
-    ~initial:(total - burst)
-    ~sample:(fun () ->
-      {
-        Allocator.runq_len = t.probe.Sched_ops.queued ();
-        oldest_delay = t.probe.Sched_ops.oldest_wait ();
-        busy_ns = lc_busy_ns t;
-      })
-    ~apply:(fun ~granted:_ ~delta:_ -> 0);
-  Allocator.register alloc ~app:app.App.id ~name:app.App.name
-    ~kind:Alloc_policy.Be
-    ~bounds:{ Allocator.guaranteed = guar; burstable = burst }
-    ~initial:burst
-    ~sample:(fun () ->
-      {
-        Allocator.runq_len = Runqueue.length t.be_queue;
-        oldest_delay = 0;
-        busy_ns = be_busy_ns t app;
-      })
-    ~apply:(fun ~granted ~delta ->
-      set_be_allowance t granted;
-      (* Moving a core between applications costs an inter-application
-         switch at the next dispatch on that core (§5.4); account it on
-         the BE side only so each move is charged once. *)
-      Costs.app_switch_ns * abs delta);
-  Allocator.start alloc;
-  t.allocator <- Some alloc;
+  Rc.start_allocator t.rc ~cfg:t.alloc_cfg ~be:app
+    ~on_event:(fun ev ->
+      match ev.Allocator.action with
+      | Allocator.Degraded ->
+          Rc.trace_instant t.rc ~core:t.dispatcher_core Trace.Alloc_degrade
+            ev.Allocator.app_name
+      | Allocator.Recovered ->
+          Rc.trace_instant t.rc ~core:t.dispatcher_core Trace.Alloc_recover
+            ev.Allocator.app_name
+      | Allocator.Granted | Allocator.Reclaimed | Allocator.Yielded -> ())
+    ~set_allowance:(set_be_allowance t);
   Array.iter (fun w -> try_next t w) t.workers
 
-let allocator t = t.allocator
+let allocator t = t.rc.Rc.allocator
 
 let pump t =
   let made_progress = ref true in
@@ -630,7 +342,7 @@ let pump t =
     if queue_length t > 0 then
       match
         Array.to_list t.workers
-        |> List.find_opt (fun w -> w.current = None && not w.reserved)
+        |> List.find_opt (fun w -> w.ex.Rc.current = None && not w.reserved)
       with
       | Some w ->
           try_next t w;
@@ -648,147 +360,62 @@ let pump t =
 
 (* ---- deadlines ----------------------------------------------------------- *)
 
-let deadline_expired t (task : Task.t) ~on_drop =
-  let app = find_app t task.Task.app in
-  app.App.tasks_alive <- app.App.tasks_alive - 1;
-  Summary.record_drop app.App.summary;
-  t.deadline_drops <- t.deadline_drops + 1;
-  trace_instant t ~core:(max 0 task.Task.last_core) Trace.Deadline_drop
-    task.Task.name;
-  match on_drop with Some f -> f task | None -> ()
-
-let kill t ?on_drop (task : Task.t) =
-  if not task.Task.killed then
-    match task.Task.state with
-    | Task.Exited -> ()
-    | Task.Running -> (
-        match
-          Array.find_opt
-            (fun w ->
-              match w.current with Some cur -> cur == task | None -> false)
-            t.workers
-        with
-        | Some w ->
-            (match w.completion with
-            | Some h ->
-                Eventq.cancel h;
-                w.completion <- None
-            | None -> ());
-            task.Task.killed <- true;
-            task.Task.state <- Task.Exited;
-            account t w;
-            w.current <- None;
-            w.gen <- w.gen + 1;
-            t.policy.task_terminate task;
-            deadline_expired t task ~on_drop;
-            try_next t w
-        | None -> ())
-    | Task.Runnable ->
-        (* Somewhere in a runqueue: account the drop now, discard lazily at
-           the next dequeue (see [next_lc]). *)
-        task.Task.killed <- true;
-        deadline_expired t task ~on_drop
-    | Task.Blocked ->
-        task.Task.killed <- true;
-        task.Task.state <- Task.Exited;
-        t.policy.task_terminate task;
-        deadline_expired t task ~on_drop
+let kill t ?on_drop task = Rc.kill t.rc ?on_drop task
 
 let submit t app ?(service = 0) ?(record = true) ?deadline ?on_drop ~name body =
-  let arrival = now t in
-  let on_exit =
-    if record then
-      Some
-        (fun (task : Task.t) ->
-          if task.Task.service > 0 then begin
-            Summary.record_request app.App.summary ~arrival:task.arrival
-              ~completion:(now t) ~service:task.service;
-            Attribution.record app.App.attribution
-              ~queueing:task.Task.obs_queued_ns
-              ~overhead:task.Task.obs_overhead_ns ~stall:task.Task.obs_stall_ns
-              ~response:(now t - task.Task.obs_start)
-              ~declared:task.Task.service
-          end)
-    else None
-  in
-  let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
-  task.Task.obs_start <- now t;
-  task.Task.obs_enq_at <- now t;
-  app.App.spawned <- app.App.spawned + 1;
-  app.App.tasks_alive <- app.App.tasks_alive + 1;
-  t.policy.task_init task;
-  t.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_new task;
+  let task = Rc.admit t.rc app ~name ~arrival:(now t) ~service ~record body in
+  t.rc.Rc.policy.task_init task;
+  t.rc.Rc.policy.task_enqueue ~cpu:t.dispatcher_core ~reason:Sched_ops.Enq_new
+    task;
   pump t;
   (match deadline with
   | Some d ->
-      if d <= 0 then invalid_arg "Centralized.submit: deadline must be positive";
-      ignore (Engine.after t.engine d (fun () -> kill t ?on_drop task))
+      Rc.arm_deadline t.rc ?on_drop task ~deadline:d
+        ~err:"Centralized.submit: deadline must be positive"
   | None -> ());
   task
 
 let wakeup t (task : Task.t) =
-  match task.state with
-  | Task.Blocked ->
-      task.state <- Task.Runnable;
-      task.resuming <- true;
-      task.wake_time <- Some (now t);
-      task.obs_stall_ns <- task.obs_stall_ns + max 0 (now t - task.obs_block_at);
-      task.obs_enq_at <- now t;
-      trace_instant t ~core:(max 0 task.last_core) Trace.Wakeup task.name;
-      ignore (t.policy.task_wakeup ~waker_cpu:t.dispatcher_core task);
-      pump t
-  | Task.Running | Task.Runnable -> task.pending_wake <- true
-  | Task.Exited -> ()
+  Rc.awaken t.rc task ~place:(fun task ->
+      ignore (t.rc.Rc.policy.task_wakeup ~waker_cpu:t.dispatcher_core task);
+      pump t)
 
-let preemptions t = t.preempts
+let preemptions t = t.rc.Rc.preempts
 let dispatches t = t.dispatches
-let be_preemptions t = t.be_preempts
-let watchdog_rescues t = t.rescues
+let be_preemptions t = t.rc.Rc.be_preempts
+let watchdog_rescues t = t.rc.Rc.rescues
 let failovers t = t.failovers
-let rescue_detection t = t.rescue_detect
-let deadline_drops t = t.deadline_drops
-let set_trace t trace = t.trace <- Some trace
-let queue_depth_series t = t.queue_depth
-
-let worker_busy_ns t =
-  List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps
+let rescue_detection t = t.rc.Rc.rescue_detect
+let deadline_drops t = t.rc.Rc.deadline_drops
+let set_trace t trace = t.rc.Rc.trace <- Some trace
+let queue_depth_series t = t.rc.Rc.queue_depth
+let worker_busy_ns t = Rc.total_busy_ns t.rc
 
 (* Pull-based registration: every closure reads existing state at snapshot
    time, so attaching a registry cannot perturb the simulation. *)
 let register_metrics t ?(labels = []) reg =
+  let rc = t.rc in
   let c name help read = Registry.counter reg ~help ~labels name read in
   c "skyloft_central_dispatches_total" "Tasks assigned to workers" (fun () ->
       t.dispatches);
   c "skyloft_central_preemptions_total" "Quantum preemptions sent" (fun () ->
-      t.preempts);
+      rc.Rc.preempts);
   c "skyloft_central_be_preemptions_total" "Best-effort workers preempted"
-    (fun () -> t.be_preempts);
+    (fun () -> rc.Rc.be_preempts);
   c "skyloft_central_watchdog_rescues_total" "Stuck workers rescued" (fun () ->
-      t.rescues);
+      rc.Rc.rescues);
   c "skyloft_central_failovers_total" "Dispatcher failovers" (fun () ->
       t.failovers);
   c "skyloft_central_deadline_drops_total" "Tasks killed at their deadline"
-    (fun () -> t.deadline_drops);
+    (fun () -> rc.Rc.deadline_drops);
   Registry.gauge reg ~labels "skyloft_central_be_allowance"
     ~help:"Workers the best-effort application may occupy" (fun () ->
-      float_of_int t.be_allowance);
+      float_of_int rc.Rc.be_allowance);
   Registry.gauge reg ~labels "skyloft_central_queue_length"
     ~help:"LC tasks waiting at the dispatcher" (fun () ->
       float_of_int (queue_length t));
   Registry.histogram reg ~labels "skyloft_central_rescue_detection_ns"
-    ~help:"Watchdog detection latency past the bound" t.rescue_detect;
+    ~help:"Watchdog detection latency past the bound" rc.Rc.rescue_detect;
   Registry.series reg ~labels "skyloft_central_queue_depth"
-    ~help:"LC policy queue length" t.queue_depth;
-  List.iter
-    (fun (app : App.t) ->
-      let al = labels @ [ Registry.app app.App.name ] in
-      Registry.counter reg ~labels:al "skyloft_app_spawned_total"
-        ~help:"Tasks spawned" (fun () -> app.App.spawned);
-      Registry.counter reg ~labels:al "skyloft_app_completed_total"
-        ~help:"Tasks completed" (fun () -> app.App.completed);
-      Registry.counter reg ~labels:al "skyloft_app_busy_ns_total"
-        ~help:"Accumulated worker CPU time" (fun () -> app.App.busy_ns);
-      Registry.histogram reg ~labels:al "skyloft_app_response_ns"
-        ~help:"Request response time" (Summary.latency app.App.summary);
-      Attribution.register reg ~labels:al app.App.attribution)
-    t.apps
+    ~help:"LC policy queue length" rc.Rc.queue_depth;
+  Rc.register_app_metrics rc ~labels reg

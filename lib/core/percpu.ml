@@ -7,227 +7,74 @@ module Costs = Skyloft_hw.Costs
 module Vectors = Skyloft_hw.Vectors
 module Kmod = Skyloft_kernel.Kmod
 module Histogram = Skyloft_stats.Histogram
-module Summary = Skyloft_stats.Summary
 module Trace = Skyloft_stats.Trace
 module Timeseries = Skyloft_stats.Timeseries
-module Alloc_policy = Skyloft_alloc.Policy
 module Allocator = Skyloft_alloc.Allocator
 module Registry = Skyloft_obs.Registry
-module Attribution = Skyloft_obs.Attribution
+module Rc = Runtime_core
+
+(* The per-CPU runtime is Runtime_core plus its DISPATCH substrate:
+   synchronous per-core scheduling driven by delegated timer interrupts
+   (Listing 1), kicks for idle cores, Shenango-style parking, and the
+   per-core watchdog.  Everything else — lifecycle, accounting, BE
+   occupancy, deadlines, allocator, metrics — lives in the core. *)
 
 type cpu = {
-  core_id : int;
-  mutable current : Task.t option;
-  mutable completion : Eventq.handle option;
-  mutable busy_from : Time.t;
-  mutable active_app : int;
+  ex : Rc.exec;
   mutable kick_pending : bool;
   mutable parked : bool;  (* yielded to the kernel while idle (Shenango) *)
   mutable idle_gen : int;  (* invalidates stale park timers *)
   mutable last_sched : Time.t;  (* last scheduling point (watchdog) *)
-  mutable stolen_until : Time.t;  (* host kernel holds the core until then *)
 }
 
 type t = {
-  machine : Machine.t;
-  engine : Engine.t;
-  kmod : Kmod.t;
+  rc : Rc.t;
   cores : int array;
   cpus : cpu array;
   by_core : (int, cpu) Hashtbl.t;
-  kthreads : (int * int, Kmod.kthread) Hashtbl.t;  (* (app, core) -> kthread *)
-  mutable apps : App.t list;
-  daemon : App.t;
-  mutable policy : Sched_ops.instance;
-  mutable probe : Sched_ops.probe;
-  mutable be_app : App.t option;
-  be_queue : Runqueue.t;  (* BE work lives here, outside the LC policy *)
-  mutable be_allowance : int;  (* cores BE tasks may occupy right now *)
-  mutable allocator : Allocator.t option;
   timer_hz : int;
   preemption : bool;
   park : (Time.t * Time.t) option;  (* (idle_after, resume_cost) *)
-  watchdog : Time.t option;  (* rescue bound; None disables the watchdog *)
-  rescue_detect : Histogram.t;  (* how late each violation was caught *)
-  wakeups : Histogram.t;
-  queue_depth : Timeseries.t;  (* LC policy queue length over time *)
-  mutable switches : int;
-  mutable app_switches : int;
-  mutable preempts : int;
-  mutable be_preempts : int;
-  mutable rescues : int;
-  mutable deadline_drops : int;
   mutable ticks : int;
   mutable rr_spawn : int;  (* round-robin spawn placement cursor *)
   uvec_handlers : (int, int -> unit) Hashtbl.t;
       (* user-delegated device interrupts: uvec -> handler (gets core id) *)
-  mutable trace : Trace.t option;
 }
 
-let now t = Engine.now t.engine
+let now t = Rc.now t.rc
 let cpu_of t core = Hashtbl.find t.by_core core
 
 let is_idle t ~core =
   match Hashtbl.find_opt t.by_core core with
-  | Some cpu -> cpu.current = None
+  | Some cpu -> cpu.ex.Rc.current = None
   | None -> false
 
-let view t =
-  {
-    Sched_ops.cores = t.cores;
-    is_idle = (fun core -> is_idle t ~core);
-    now = (fun () -> now t);
-  }
-
-(* ---- per-application CPU accounting ------------------------------------ *)
-
-let find_app t id = if id = 0 then t.daemon else List.find (fun a -> a.App.id = id) t.apps
-
-let is_be t (task : Task.t) =
-  match t.be_app with Some app -> task.Task.app = app.App.id | None -> false
-
-(* Cores the BE application occupies right now.  Per-CPU dispatch is
-   synchronous (schedule sets [current] immediately), so counting running
-   tasks is exact. *)
-let be_occupancy t =
-  match t.be_app with
-  | None -> 0
-  | Some app ->
-      Array.fold_left
-        (fun acc cpu ->
-          match cpu.current with
-          | Some task when task.Task.app = app.App.id -> acc + 1
-          | _ -> acc)
-        0 t.cpus
-
-let account t cpu =
-  (match cpu.current with
-  | Some task ->
-      let app = find_app t task.Task.app in
-      app.App.busy_ns <- app.App.busy_ns + max 0 (now t - cpu.busy_from);
-      (match t.trace with
-      | Some trace when now t > cpu.busy_from ->
-          Trace.span trace ~core:cpu.core_id ~app:task.Task.app ~name:task.Task.name
-            ~start:cpu.busy_from ~stop:(now t)
-      | _ -> ())
-  | None -> ());
-  cpu.busy_from <- now t
-
-let trace_instant t ~core kind name =
-  match t.trace with
-  | Some trace -> Trace.instant trace ~core ~at:(now t) kind ~name
-  | None -> ()
+let view t = Rc.view t.rc
 
 (* ---- dispatch & the main loop ------------------------------------------ *)
 
-let rec process t cpu (task : Task.t) =
-  match task.body with
-  | Coro.Compute (d, k) ->
-      task.cont <- k;
-      task.segment_end <- now t + d;
-      cpu.completion <-
-        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t cpu task))
-  | Coro.Yield _ ->
-      (* continuation evaluated at the next dispatch (resume time) *)
-      task.state <- Task.Runnable;
-      account t cpu;
-      cpu.current <- None;
-      task.obs_enq_at <- now t;
-      if is_be t task then Runqueue.push_tail t.be_queue task
-      else
-        t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_yielded task;
-      schedule t cpu ~prev:(Some task)
-  | Coro.Block k ->
-      if task.pending_wake then begin
-        task.pending_wake <- false;
-        task.body <- k ();
-        process t cpu task
-      end
-      else begin
-        task.body <- Coro.Block k;
-        task.state <- Task.Blocked;
-        account t cpu;
-        cpu.current <- None;
-        task.obs_block_at <- now t;
-        t.policy.task_block ~cpu:cpu.core_id task;
-        schedule t cpu ~prev:(Some task)
-      end
-  | Coro.Exit ->
-      task.state <- Task.Exited;
-      account t cpu;
-      cpu.current <- None;
-      let app = find_app t task.app in
-      app.App.completed <- app.App.completed + 1;
-      app.App.tasks_alive <- app.App.tasks_alive - 1;
-      t.policy.task_terminate task;
-      (match task.on_exit with Some f -> f task | None -> ());
-      schedule t cpu ~prev:(Some task)
-
-and on_complete t cpu (task : Task.t) =
-  cpu.completion <- None;
-  task.body <- task.cont ();
-  process t cpu task
-
-and dispatch t cpu (task : Task.t) ~switch_cost =
-  task.state <- Task.Running;
-  cpu.current <- Some task;
-  cpu.busy_from <- now t;
-  cpu.last_sched <- now t;
-  task.obs_queued_ns <- task.obs_queued_ns + max 0 (now t - task.obs_enq_at);
-  task.obs_overhead_ns <- task.obs_overhead_ns + switch_cost;
-  let start = now t + switch_cost in
-  (match task.wake_time with
-  | Some w ->
-      if task.track_wakeup then Histogram.record t.wakeups (start - w);
-      task.wake_time <- None
-  | None -> ());
-  task.run_start <- start;
-  task.last_core <- cpu.core_id;
-  let continue () =
-    match cpu.current with
-    | Some cur when cur == task && task.state = Task.Running ->
-        (match task.body with
-        | Coro.Yield k -> task.body <- k ()
-        | Coro.Block k when task.resuming ->
-            task.resuming <- false;
-            task.body <- k ()
-        | Coro.Block _ | Coro.Compute _ | Coro.Exit -> ());
-        process t cpu task
-    | _ -> ()
-  in
-  ignore (Engine.after t.engine switch_cost continue)
-
-and schedule t cpu ~prev =
+let rec schedule t cpu ~prev =
+  let rc = t.rc in
   let pick () =
     (* Cores inside the allocator's current BE grant belong to BE — they
        dispatch BE work ahead of LC so a guaranteed core cannot be starved
        by LC backlog.  LC congestion claws cores back through the
        allocator shrinking the allowance, not by out-queueing BE here. *)
     let be_next =
-      if be_occupancy t < t.be_allowance then Runqueue.pop_head t.be_queue
+      if Rc.be_occupancy rc < rc.Rc.be_allowance then
+        Runqueue.pop_head rc.Rc.be_queue
       else None
     in
     match be_next with
     | Some task -> Some task
     | None -> (
-        match t.policy.task_dequeue ~cpu:cpu.core_id with
+        match rc.Rc.policy.task_dequeue ~cpu:cpu.ex.Rc.exec_core with
         | Some task -> Some task
-        | None -> t.policy.sched_balance ~cpu:cpu.core_id)
+        | None -> rc.Rc.policy.sched_balance ~cpu:cpu.ex.Rc.exec_core)
   in
-  (* Tasks killed at their deadline while queued are discarded here, at
-     dequeue time, instead of being hunted down inside the policy's
-     runqueues. *)
-  let rec next_live () =
-    match pick () with
-    | Some task when task.Task.killed ->
-        task.Task.state <- Task.Exited;
-        if not (is_be t task) then t.policy.task_terminate task;
-        next_live ()
-    | next -> next
-  in
-  match next_live () with
+  match Rc.next_live rc pick with
   | None ->
-      cpu.current <- None;
+      cpu.ex.Rc.current <- None;
       cpu.idle_gen <- cpu.idle_gen + 1;
       (* Shenango-style runtimes return idle cores to the kernel; waking a
          parked core later costs a kernel wakeup. *)
@@ -235,8 +82,9 @@ and schedule t cpu ~prev =
       | Some (idle_after, _) ->
           let gen = cpu.idle_gen in
           ignore
-            (Engine.after t.engine idle_after (fun () ->
-                 if cpu.current = None && cpu.idle_gen = gen then cpu.parked <- true))
+            (Engine.after rc.Rc.engine idle_after (fun () ->
+                 if cpu.ex.Rc.current = None && cpu.idle_gen = gen then
+                   cpu.parked <- true))
       | None -> ())
   | Some task ->
       let unpark_cost =
@@ -249,70 +97,58 @@ and schedule t cpu ~prev =
       let same = match prev with Some p -> p == task | None -> false in
       let cost =
         if same then 0
-        else if task.Task.app = cpu.active_app then begin
-          t.switches <- t.switches + 1;
+        else if task.Task.app = cpu.ex.Rc.active_app then begin
+          rc.Rc.switches <- rc.Rc.switches + 1;
           Costs.uthread_yield_ns
         end
-        else begin
-          (* Cross-application switch through the kernel module (§3.3). *)
-          let from_kt = Hashtbl.find t.kthreads (cpu.active_app, cpu.core_id) in
-          let to_kt = Hashtbl.find t.kthreads (task.Task.app, cpu.core_id) in
-          let cost = Kmod.switch_to t.kmod ~from:from_kt ~target:to_kt in
-          cpu.active_app <- task.Task.app;
-          t.app_switches <- t.app_switches + 1;
-          trace_instant t ~core:cpu.core_id Trace.App_switch task.Task.name;
-          cost
-        end
+        else Rc.app_switch rc cpu.ex task
       in
       dispatch t cpu task ~switch_cost:(cost + unpark_cost)
+
+and dispatch t cpu (task : Task.t) ~switch_cost =
+  cpu.last_sched <- now t;
+  ignore (Rc.begin_run t.rc cpu.ex task ~switch_cost);
+  Rc.run_after_switch t.rc cpu.ex task ~switch_cost
 
 (* ---- preemption --------------------------------------------------------- *)
 
 let preempt_current t cpu =
-  match (cpu.current, cpu.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
-      cpu.completion <- None;
-      let remaining = max 0 (task.segment_end - now t) in
-      task.body <- Coro.Compute (remaining, task.cont);
-      task.state <- Task.Runnable;
-      account t cpu;
-      cpu.current <- None;
-      task.obs_enq_at <- now t;
-      t.preempts <- t.preempts + 1;
-      trace_instant t ~core:cpu.core_id Trace.Preempt task.Task.name;
-      if is_be t task then begin
-        t.be_preempts <- t.be_preempts + 1;
-        Runqueue.push_head t.be_queue task
+  match Rc.depose t.rc cpu.ex ~overhead:0 with
+  | Some task ->
+      t.rc.Rc.preempts <- t.rc.Rc.preempts + 1;
+      if Rc.is_be t.rc task then begin
+        t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1;
+        Runqueue.push_head t.rc.Rc.be_queue task
       end
-      else t.policy.task_enqueue ~cpu:cpu.core_id ~reason:Sched_ops.Enq_preempted task;
+      else
+        t.rc.Rc.policy.task_enqueue ~cpu:cpu.ex.Rc.exec_core
+          ~reason:Sched_ops.Enq_preempted task;
       schedule t cpu ~prev:(Some task)
-  | _ -> ()
+  | None -> ()
 
 (* Interrupt handling steals CPU time from the running segment.  The cost
    is attributed to the victim task as scheduling overhead — or as fault
    stall when [stall] (host-kernel core steals, where the core vanishes
    rather than doing scheduling work). *)
 let steal_time ?(stall = false) t cpu cost =
-  match (cpu.current, cpu.completion) with
+  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
   | Some task, Some h ->
       Eventq.cancel h;
-      task.segment_end <- task.segment_end + cost;
-      if stall then task.obs_stall_ns <- task.obs_stall_ns + cost
-      else task.obs_overhead_ns <- task.obs_overhead_ns + cost;
-      cpu.completion <-
-        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t cpu task))
+      task.Task.segment_end <- task.Task.segment_end + cost;
+      if stall then task.Task.obs_stall_ns <- task.Task.obs_stall_ns + cost
+      else task.Task.obs_overhead_ns <- task.Task.obs_overhead_ns + cost;
+      Rc.arm_completion t.rc cpu.ex task
   | _ -> ()
 
 let kick t cpu =
-  if cpu.current = None && not cpu.kick_pending then begin
+  if cpu.ex.Rc.current = None && not cpu.kick_pending then begin
     cpu.kick_pending <- true;
     (* A stolen core cannot react until the host kernel hands it back. *)
-    let delay = max 0 (cpu.stolen_until - now t) in
+    let delay = max 0 (cpu.ex.Rc.stolen_until - now t) in
     ignore
-      (Engine.after t.engine delay (fun () ->
+      (Engine.after t.rc.Rc.engine delay (fun () ->
            cpu.kick_pending <- false;
-           if cpu.current = None then schedule t cpu ~prev:None))
+           if cpu.ex.Rc.current = None then schedule t cpu ~prev:None))
   end
 
 let kick_core t core = kick t (cpu_of t core)
@@ -331,12 +167,12 @@ let kick_some_idle t =
    allowance is the single arbiter of BE occupancy. *)
 let tick_decision t cpu =
   cpu.last_sched <- now t;
-  match (cpu.current, cpu.completion) with
+  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
   | Some task, Some _ ->
-      if is_be t task then begin
-        if be_occupancy t > t.be_allowance then preempt_current t cpu
+      if Rc.is_be t.rc task then begin
+        if Rc.be_occupancy t.rc > t.rc.Rc.be_allowance then preempt_current t cpu
       end
-      else if t.policy.sched_timer_tick ~cpu:cpu.core_id task then
+      else if t.rc.Rc.policy.sched_timer_tick ~cpu:cpu.ex.Rc.exec_core task then
         preempt_current t cpu
   | _ -> kick t cpu
 
@@ -354,7 +190,8 @@ let uintr_handler t cpu ctx ~uvec =
     (* Reset UPID.PIR so the next hardware timer interrupt is recognised
        (Listing 1 line 5) — only on a timer-delegated context (SN set). *)
     if Machine.uintr_sn ctx then
-      Machine.senduipi t.machine ~src_core:cpu.core_id ctx ~uvec:Vectors.uvec_timer;
+      Machine.senduipi t.rc.Rc.machine ~src_core:cpu.ex.Rc.exec_core ctx
+        ~uvec:Vectors.uvec_timer;
     on_tick t cpu
   end
   else if uvec = Vectors.uvec_preempt then on_preempt_ipi t cpu
@@ -364,7 +201,7 @@ let uintr_handler t cpu ctx ~uvec =
     match Hashtbl.find_opt t.uvec_handlers uvec with
     | Some handler ->
         steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
-        handler cpu.core_id
+        handler cpu.ex.Rc.exec_core
     | None -> ()
 
 (* ---- watchdog recovery --------------------------------------------------- *)
@@ -376,17 +213,15 @@ let uintr_handler t cpu ctx ~uvec =
    the PIR re-primed so future ticks are recognised again, then a forced
    preemption so queued work gets the core. *)
 let rescue t cpu ~bound =
-  t.rescues <- t.rescues + 1;
-  Histogram.record t.rescue_detect (max 0 (now t - cpu.last_sched - bound));
-  (match cpu.current with
-  | Some task -> trace_instant t ~core:cpu.core_id Trace.Watchdog_rescue task.Task.name
-  | None -> ());
+  Rc.rescued t.rc cpu.ex ~late:(max 0 (now t - cpu.last_sched - bound));
   steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
   if t.preemption then begin
-    ignore (Kmod.timer_set_hz t.kmod ~core:cpu.core_id ~hz:t.timer_hz);
-    match Machine.uintr_installed t.machine ~core:cpu.core_id with
+    ignore
+      (Kmod.timer_set_hz t.rc.Rc.kmod ~core:cpu.ex.Rc.exec_core ~hz:t.timer_hz);
+    match Machine.uintr_installed t.rc.Rc.machine ~core:cpu.ex.Rc.exec_core with
     | Some ctx when Machine.uintr_sn ctx ->
-        Machine.senduipi t.machine ~src_core:cpu.core_id ctx ~uvec:Vectors.uvec_timer
+        Machine.senduipi t.rc.Rc.machine ~src_core:cpu.ex.Rc.exec_core ctx
+          ~uvec:Vectors.uvec_timer
     | Some _ | None -> ()
   end;
   preempt_current t cpu;
@@ -395,10 +230,12 @@ let rescue t cpu ~bound =
 let watchdog_scan t ~bound =
   Array.iter
     (fun cpu ->
-      match cpu.current with
+      match cpu.ex.Rc.current with
       | Some _
-        when now t >= cpu.stolen_until
-             && (not (Machine.interrupts_masked (Machine.core t.machine cpu.core_id)))
+        when now t >= cpu.ex.Rc.stolen_until
+             && (not
+                   (Machine.interrupts_masked
+                      (Machine.core t.rc.Rc.machine cpu.ex.Rc.exec_core)))
              && now t - cpu.last_sched > bound ->
           rescue t cpu ~bound
       | _ -> ())
@@ -409,15 +246,14 @@ let watchdog_scan t ~bound =
    interrupt vectors replay at unmask (the {!Machine} mask model), so a
    queued tick re-preempts promptly once the core returns. *)
 let on_core_steal t cpu ~duration =
-  cpu.stolen_until <- max cpu.stolen_until (now t + duration);
+  cpu.ex.Rc.stolen_until <- max cpu.ex.Rc.stolen_until (now t + duration);
   steal_time ~stall:true t cpu duration;
-  cpu.last_sched <- max cpu.last_sched cpu.stolen_until
+  cpu.last_sched <- max cpu.last_sched cpu.ex.Rc.stolen_until
 
 (* ---- construction -------------------------------------------------------- *)
 
 let register_kthread t app_id core =
-  let kt = Kmod.park_on_cpu t.kmod ~app:app_id ~core in
-  Hashtbl.replace t.kthreads (app_id, core) kt;
+  let kt = Rc.add_kthread t.rc ~app:app_id ~core in
   let cpu = cpu_of t core in
   let ctx = Kmod.uintr_ctx kt in
   Machine.uintr_register_handler ctx ~uinv:Vectors.uintr_notification
@@ -426,8 +262,8 @@ let register_kthread t app_id core =
     (* §3.2 timer delegation: UINV <- timer vector, SN <- 1 (kernel module),
        then prime the PIR with a suppressed self-SENDUIPI so the first
        hardware timer interrupt is recognised in user space. *)
-    Kmod.timer_enable t.kmod kt;
-    Machine.senduipi t.machine ~src_core:core ctx ~uvec:Vectors.uvec_timer
+    Kmod.timer_enable t.rc.Rc.kmod kt;
+    Machine.senduipi t.rc.Rc.machine ~src_core:core ctx ~uvec:Vectors.uvec_timer
   end;
   kt
 
@@ -443,64 +279,40 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park
     Array.map
       (fun core_id ->
         {
-          core_id;
-          current = None;
-          completion = None;
-          busy_from = 0;
-          active_app = 0;
+          ex = Rc.make_exec core_id;
           kick_pending = false;
           parked = false;
           idle_gen = 0;
           last_sched = 0;
-          stolen_until = 0;
         })
       cores_arr
   in
   let t =
     {
-      machine;
-      engine = Machine.engine machine;
-      kmod;
+      rc = Rc.create machine kmod ~record_wakeups:true ~trace_app_switches:true;
       cores = cores_arr;
       cpus;
       by_core = Hashtbl.create 64;
-      kthreads = Hashtbl.create 64;
-      apps = [];
-      daemon = App.daemon ();
-      policy = Sched_ops.null_instance;
-      probe = { Sched_ops.queued = (fun () -> 0); oldest_wait = (fun () -> 0) };
-      be_app = None;
-      be_queue = Runqueue.create ();
-      be_allowance = List.length cores;
-      allocator = None;
       timer_hz;
       preemption;
       park;
-      watchdog;
-      rescue_detect = Histogram.create ();
-      wakeups = Histogram.create ();
-      queue_depth = Timeseries.create ();
-      switches = 0;
-      app_switches = 0;
-      preempts = 0;
-      be_preempts = 0;
-      rescues = 0;
-      deadline_drops = 0;
       ticks = 0;
       rr_spawn = 0;
       uvec_handlers = Hashtbl.create 8;
-      trace = None;
     }
   in
-  Array.iter (fun cpu -> Hashtbl.replace t.by_core cpu.core_id cpu) cpus;
-  let policy, probe =
-    Sched_ops.instrument
-      ~now:(fun () -> now t)
-      ~on_change:(fun n -> Timeseries.record t.queue_depth ~at:(now t) n)
-      (ctor (view t))
-  in
-  t.policy <- policy;
-  t.probe <- probe;
+  Array.iter (fun cpu -> Hashtbl.replace t.by_core cpu.ex.Rc.exec_core cpu) cpus;
+  Rc.install_dispatch t.rc
+    {
+      Rc.d_name = "percpu";
+      d_units = Array.map (fun cpu -> cpu.ex) cpus;
+      d_enqueue_cpu = (fun ex -> ex.Rc.exec_core);
+      d_incoming_app = (fun _ -> -1);
+      d_released = (fun _ -> ());
+      d_reschedule =
+        (fun ex ~prev -> schedule t (cpu_of t ex.Rc.exec_core) ~prev);
+    };
+  Rc.install_policy t.rc ctor;
   (* The daemon occupies every isolated core first (§4.1). *)
   Array.iter
     (fun core ->
@@ -514,21 +326,14 @@ let create machine kmod ~cores ?(timer_hz = 100_000) ?(preemption = true) ?park
   (* React to host-kernel core steals (lib/fault's imperfect isolation). *)
   Array.iter
     (fun cpu ->
-      Kmod.on_steal kmod ~core:cpu.core_id (fun ~duration ->
+      Kmod.on_steal kmod ~core:cpu.ex.Rc.exec_core (fun ~duration ->
           on_core_steal t cpu ~duration))
     t.cpus;
-  (match watchdog with
-  | Some bound ->
-      (* Scan at half the bound so a violation is caught within ~1.5x. *)
-      Engine.every t.engine ~period:(max 1 (bound / 2)) (fun () ->
-          watchdog_scan t ~bound;
-          true)
-  | None -> ());
+  Rc.start_watchdog t.rc ~bound:watchdog (fun ~bound -> watchdog_scan t ~bound);
   t
 
 let create_app t ~name =
-  let app = App.create ~name in
-  t.apps <- app :: t.apps;
+  let app = Rc.new_app t.rc ~name in
   Array.iter (fun core -> ignore (register_kthread t app.App.id core)) t.cores;
   app
 
@@ -539,67 +344,27 @@ let create_app t ~name =
    charged, then the next LC dispatch pays {!Kmod.switch_to}).  Growing
    kicks idle cores so they pick BE work up. *)
 let set_be_allowance t n =
-  let old = t.be_allowance in
-  t.be_allowance <- n;
+  let old = t.rc.Rc.be_allowance in
+  t.rc.Rc.be_allowance <- n;
   if n < old then begin
-    let excess = ref (be_occupancy t - n) in
+    let excess = ref (Rc.be_occupancy t.rc - n) in
     Array.iter
       (fun cpu ->
         if !excess > 0 then
-          match cpu.current with
-          | Some task when is_be t task && cpu.completion <> None ->
+          match cpu.ex.Rc.current with
+          | Some task when Rc.is_be t.rc task && cpu.ex.Rc.completion <> None ->
               steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
               preempt_current t cpu;
               decr excess
           | _ -> ())
       t.cpus
   end
-  else if n > old && not (Runqueue.is_empty t.be_queue) then
-    Array.iter (fun cpu -> if cpu.current = None then kick t cpu) t.cpus
-
-(* Busy nanoseconds including the in-flight segment of running cores, so
-   the allocator's utilization sample does not lag long-running tasks. *)
-let in_flight_busy t ~matches =
-  Array.fold_left
-    (fun acc cpu ->
-      match cpu.current with
-      | Some task when matches task.Task.app -> acc + max 0 (now t - cpu.busy_from)
-      | _ -> acc)
-    0 t.cpus
-
-let lc_busy_ns t =
-  let be_id = match t.be_app with Some app -> app.App.id | None -> -1 in
-  let recorded =
-    List.fold_left
-      (fun acc (a : App.t) -> if a.App.id = be_id then acc else acc + a.App.busy_ns)
-      t.daemon.App.busy_ns t.apps
-  in
-  recorded + in_flight_busy t ~matches:(fun id -> id <> be_id)
-
-let be_busy_ns t (app : App.t) =
-  app.App.busy_ns + in_flight_busy t ~matches:(fun id -> id = app.App.id)
+  else if n > old && not (Runqueue.is_empty t.rc.Rc.be_queue) then
+    Array.iter (fun cpu -> if cpu.ex.Rc.current = None then kick t cpu) t.cpus
 
 let attach_be_app t ?alloc app ~chunk ~workers =
-  if t.be_app <> None then invalid_arg "Percpu.attach_be_app: BE app already set";
-  if not (List.exists (fun a -> a == app) t.apps) then
-    invalid_arg "Percpu.attach_be_app: app not created by this runtime";
+  Rc.spawn_be_workers t.rc app ~chunk ~workers ~who:"Percpu.attach_be_app";
   let cfg = match alloc with Some a -> a | None -> Allocator.default_config () in
-  t.be_app <- Some app;
-  for i = 1 to workers do
-    (* A batch worker is an endless sequence of compute chunks, yielding
-       between chunks so reclaimed cores come back promptly. *)
-    let rec loop () = Coro.Compute (chunk, fun () -> Coro.Yield loop) in
-    let task =
-      Task.create ~app:app.App.id ~name:(Printf.sprintf "be-%d" i) (loop ())
-    in
-    app.App.spawned <- app.App.spawned + 1;
-    app.App.tasks_alive <- app.App.tasks_alive + 1;
-    Runqueue.push_tail t.be_queue task
-  done;
-  let total = Array.length t.cpus in
-  let burst = min (Option.value cfg.Allocator.be_burstable ~default:total) total in
-  let guar = min (max 0 cfg.Allocator.be_guaranteed) burst in
-  t.be_allowance <- burst;
   let on_event (ev : Allocator.event) =
     let kind =
       match ev.Allocator.action with
@@ -608,46 +373,15 @@ let attach_be_app t ?alloc app ~chunk ~workers =
       | Allocator.Degraded -> Trace.Alloc_degrade
       | Allocator.Recovered -> Trace.Alloc_recover
     in
-    trace_instant t ~core:t.cores.(0) kind
+    Rc.trace_instant t.rc ~core:t.cores.(0) kind
       (Printf.sprintf "%s=%d" ev.Allocator.app_name ev.Allocator.granted)
   in
-  let alloc =
-    Allocator.create ~engine:t.engine ~policy:cfg.Allocator.policy
-      ~interval:cfg.Allocator.interval ~total_cores:total ~on_event
-      ?degrade_after:cfg.Allocator.degrade_after ()
-  in
-  Allocator.register alloc ~app:0 ~name:"lc" ~kind:Alloc_policy.Lc
-    ~bounds:{ Allocator.guaranteed = 0; burstable = total }
-    ~initial:(total - burst)
-    ~sample:(fun () ->
-      {
-        Allocator.runq_len = t.probe.Sched_ops.queued ();
-        oldest_delay = t.probe.Sched_ops.oldest_wait ();
-        busy_ns = lc_busy_ns t;
-      })
-    ~apply:(fun ~granted:_ ~delta:_ -> 0);
-  Allocator.register alloc ~app:app.App.id ~name:app.App.name
-    ~kind:Alloc_policy.Be
-    ~bounds:{ Allocator.guaranteed = guar; burstable = burst }
-    ~initial:burst
-    ~sample:(fun () ->
-      {
-        Allocator.runq_len = Runqueue.length t.be_queue;
-        oldest_delay = 0;
-        busy_ns = be_busy_ns t app;
-      })
-    ~apply:(fun ~granted ~delta ->
-      set_be_allowance t granted;
-      (* Moving a core between applications costs an inter-application
-         switch at the next dispatch on that core (§5.4); account it on
-         the BE side only so each move is charged once. *)
-      Costs.app_switch_ns * abs delta);
-  Allocator.start alloc;
-  t.allocator <- Some alloc;
-  Array.iter (fun cpu -> if cpu.current = None then kick t cpu) t.cpus
+  Rc.start_allocator t.rc ~cfg ~be:app ~on_event
+    ~set_allowance:(set_be_allowance t);
+  Array.iter (fun cpu -> if cpu.ex.Rc.current = None then kick t cpu) t.cpus
 
-let allocator t = t.allocator
-let be_preemptions t = t.be_preempts
+let allocator t = t.rc.Rc.allocator
+let be_preemptions t = t.rc.Rc.be_preempts
 
 let pick_spawn_cpu t =
   match Sched_ops.pick_idle (view t) with
@@ -659,84 +393,22 @@ let pick_spawn_cpu t =
 
 (* ---- deadlines ----------------------------------------------------------- *)
 
-let deadline_expired t (task : Task.t) ~on_drop =
-  let app = find_app t task.Task.app in
-  app.App.tasks_alive <- app.App.tasks_alive - 1;
-  Summary.record_drop app.App.summary;
-  t.deadline_drops <- t.deadline_drops + 1;
-  trace_instant t ~core:(max 0 task.Task.last_core) Trace.Deadline_drop
-    task.Task.name;
-  match on_drop with Some f -> f task | None -> ()
-
-let kill t ?on_drop (task : Task.t) =
-  if not task.Task.killed then
-    match task.Task.state with
-    | Task.Exited -> ()
-    | Task.Running -> (
-        match
-          Array.find_opt
-            (fun cpu ->
-              match cpu.current with Some cur -> cur == task | None -> false)
-            t.cpus
-        with
-        | Some cpu ->
-            (match cpu.completion with
-            | Some h ->
-                Eventq.cancel h;
-                cpu.completion <- None
-            | None -> ());
-            task.Task.killed <- true;
-            task.Task.state <- Task.Exited;
-            account t cpu;
-            cpu.current <- None;
-            t.policy.task_terminate task;
-            deadline_expired t task ~on_drop;
-            schedule t cpu ~prev:(Some task)
-        | None -> ())
-    | Task.Runnable ->
-        (* Somewhere in a runqueue: account the drop now, discard lazily at
-           the next dequeue (see [schedule]). *)
-        task.Task.killed <- true;
-        deadline_expired t task ~on_drop
-    | Task.Blocked ->
-        task.Task.killed <- true;
-        task.Task.state <- Task.Exited;
-        t.policy.task_terminate task;
-        deadline_expired t task ~on_drop
+let kill t ?on_drop task = Rc.kill t.rc ?on_drop task
 
 let spawn t app ~name ?cpu ?arrival ?service ?(record = true) ?deadline ?on_drop
     body =
   let arrival = match arrival with Some a -> a | None -> now t in
   let service = match service with Some s -> s | None -> 0 in
-  let on_exit =
-    if record then
-      Some
-        (fun (task : Task.t) ->
-          if task.Task.service > 0 then begin
-            Summary.record_request app.App.summary ~arrival:task.arrival
-              ~completion:(now t) ~service:task.service;
-            Attribution.record app.App.attribution
-              ~queueing:task.Task.obs_queued_ns
-              ~overhead:task.Task.obs_overhead_ns ~stall:task.Task.obs_stall_ns
-              ~response:(now t - task.Task.obs_start)
-              ~declared:task.Task.service
-          end)
-    else None
-  in
-  let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
-  task.Task.obs_start <- now t;
-  task.Task.obs_enq_at <- now t;
-  app.App.spawned <- app.App.spawned + 1;
-  app.App.tasks_alive <- app.App.tasks_alive + 1;
+  let task = Rc.admit t.rc app ~name ~arrival ~service ~record body in
   let target = match cpu with Some c -> c | None -> pick_spawn_cpu t in
-  task.last_core <- target;
-  t.policy.task_init task;
-  t.policy.task_enqueue ~cpu:target ~reason:Sched_ops.Enq_new task;
+  task.Task.last_core <- target;
+  t.rc.Rc.policy.task_init task;
+  t.rc.Rc.policy.task_enqueue ~cpu:target ~reason:Sched_ops.Enq_new task;
   if is_idle t ~core:target then kick_core t target else kick_some_idle t;
   (match deadline with
   | Some d ->
-      if d <= 0 then invalid_arg "Percpu.spawn: deadline must be positive";
-      ignore (Engine.after t.engine d (fun () -> kill t ?on_drop task))
+      Rc.arm_deadline t.rc ?on_drop task ~deadline:d
+        ~err:"Percpu.spawn: deadline must be positive"
   | None -> ());
   task
 
@@ -748,38 +420,30 @@ let spawn t app ~name ?cpu ?arrival ?service ?(record = true) ?deadline ?on_drop
 let rec fault_current t ~core ~duration =
   if duration <= 0 then invalid_arg "Percpu.fault_current: duration must be positive";
   let cpu = cpu_of t core in
-  match (cpu.current, cpu.completion) with
+  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
   | Some task, Some h ->
       Eventq.cancel h;
-      cpu.completion <- None;
-      let remaining = max 0 (task.segment_end - now t) in
-      task.body <- Coro.Compute (remaining, task.cont);
-      task.state <- Task.Blocked;
-      account t cpu;
-      cpu.current <- None;
+      cpu.ex.Rc.completion <- None;
+      let remaining = max 0 (task.Task.segment_end - now t) in
+      task.Task.body <- Coro.Compute (remaining, task.Task.cont);
+      task.Task.state <- Task.Blocked;
+      Rc.account t.rc cpu.ex;
+      cpu.ex.Rc.current <- None;
       task.Task.obs_block_at <- now t;
       (* BE tasks live outside the LC policy's runqueues; telling the
          policy about one would leak it into LC dispatch at wakeup. *)
-      if not (is_be t task) then t.policy.task_block ~cpu:core task;
-      trace_instant t ~core Trace.Fault task.Task.name;
-      ignore (Engine.after t.engine duration (fun () -> wakeup_task t task));
+      if not (Rc.is_be t.rc task) then t.rc.Rc.policy.task_block ~cpu:core task;
+      Rc.trace_instant t.rc ~core Trace.Fault task.Task.name;
+      ignore (Engine.after t.rc.Rc.engine duration (fun () -> wakeup_task t task));
       schedule t cpu ~prev:(Some task);
       true
   | _ -> false
 
 and wakeup_task t ?waker_cpu task =
-  match task.Task.state with
-  | Task.Blocked ->
-      task.Task.state <- Task.Runnable;
-      task.Task.resuming <- true;
-      task.Task.wake_time <- Some (now t);
-      task.Task.obs_stall_ns <-
-        task.Task.obs_stall_ns + max 0 (now t - task.Task.obs_block_at);
-      task.Task.obs_enq_at <- now t;
-      trace_instant t ~core:task.Task.last_core Trace.Wakeup task.Task.name;
-      if is_be t task then begin
+  Rc.awaken t.rc task ~place:(fun (task : Task.t) ->
+      if Rc.is_be t.rc task then begin
         (* Back to the BE queue, never the LC policy's runqueues. *)
-        Runqueue.push_tail t.be_queue task;
+        Runqueue.push_tail t.rc.Rc.be_queue task;
         if is_idle t ~core:task.Task.last_core then
           kick_core t task.Task.last_core
         else kick_some_idle t
@@ -788,10 +452,8 @@ and wakeup_task t ?waker_cpu task =
         let waker_cpu =
           match waker_cpu with Some c when c >= 0 -> c | _ -> task.Task.last_core
         in
-        let target = t.policy.task_wakeup ~waker_cpu task in
-        if is_idle t ~core:target then kick_core t target else kick_some_idle t
-  | Task.Running | Task.Runnable -> task.Task.pending_wake <- true
-  | Task.Exited -> ()
+        let target = t.rc.Rc.policy.task_wakeup ~waker_cpu task in
+        if is_idle t ~core:target then kick_core t target else kick_some_idle t)
 
 let wakeup t ?(waker_cpu = -1) (task : Task.t) = wakeup_task t ~waker_cpu task
 
@@ -801,12 +463,13 @@ let wakeup t ?(waker_cpu = -1) (task : Task.t) = wakeup_task t ~waker_cpu task
 let start_utimer t ~src_core ~hz =
   if hz <= 0 then invalid_arg "Percpu.start_utimer: hz must be positive";
   let period = max 1 (1_000_000_000 / hz) in
-  Engine.every t.engine ~period (fun () ->
+  Engine.every t.rc.Rc.engine ~period (fun () ->
       Array.iter
         (fun dst_core ->
-          match Machine.uintr_installed t.machine ~core:dst_core with
+          match Machine.uintr_installed t.rc.Rc.machine ~core:dst_core with
           | Some ctx ->
-              Machine.senduipi t.machine ~src_core ctx ~uvec:Vectors.uvec_preempt
+              Machine.senduipi t.rc.Rc.machine ~src_core ctx
+                ~uvec:Vectors.uvec_preempt
           | None -> ())
         t.cores;
       true)
@@ -817,65 +480,55 @@ let register_uvec t ~uvec handler =
   Hashtbl.replace t.uvec_handlers uvec handler
 
 let preempt_core t ~src_core ~dst_core =
-  match Machine.uintr_installed t.machine ~core:dst_core with
-  | Some ctx -> Machine.senduipi t.machine ~src_core ctx ~uvec:Vectors.uvec_preempt
+  match Machine.uintr_installed t.rc.Rc.machine ~core:dst_core with
+  | Some ctx ->
+      Machine.senduipi t.rc.Rc.machine ~src_core ctx ~uvec:Vectors.uvec_preempt
   | None -> ()
 
-let current t ~core = (cpu_of t core).current
-let wakeup_hist t = t.wakeups
-let queue_depth_series t = t.queue_depth
-let task_switches t = t.switches
-let app_switches t = t.app_switches
-let preemptions t = t.preempts
+let current t ~core = (cpu_of t core).ex.Rc.current
+
+let wakeup_hist t =
+  match t.rc.Rc.wakeups with Some h -> h | None -> assert false
+
+let queue_depth_series t = t.rc.Rc.queue_depth
+let task_switches t = t.rc.Rc.switches
+let app_switches t = t.rc.Rc.app_switches
+let preemptions t = t.rc.Rc.preempts
 let timer_ticks t = t.ticks
-let watchdog_rescues t = t.rescues
-let rescue_detection t = t.rescue_detect
-let deadline_drops t = t.deadline_drops
-
-let total_busy_ns t =
-  List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps
-
-let apps t = t.apps
-let set_trace t trace = t.trace <- Some trace
+let watchdog_rescues t = t.rc.Rc.rescues
+let rescue_detection t = t.rc.Rc.rescue_detect
+let deadline_drops t = t.rc.Rc.deadline_drops
+let total_busy_ns t = Rc.total_busy_ns t.rc
+let apps t = t.rc.Rc.apps
+let set_trace t trace = t.rc.Rc.trace <- Some trace
 
 (* Pull-based registration: every closure reads existing state at snapshot
    time, so attaching a registry cannot perturb the simulation. *)
 let register_metrics t ?(labels = []) reg =
+  let rc = t.rc in
   let c name help read = Registry.counter reg ~help ~labels name read in
   c "skyloft_percpu_task_switches_total" "Intra-application task switches"
-    (fun () -> t.switches);
+    (fun () -> rc.Rc.switches);
   c "skyloft_percpu_app_switches_total"
     "Cross-application kthread switches through the kernel module" (fun () ->
-      t.app_switches);
+      rc.Rc.app_switches);
   c "skyloft_percpu_preemptions_total" "Tasks preempted off their core"
-    (fun () -> t.preempts);
+    (fun () -> rc.Rc.preempts);
   c "skyloft_percpu_be_preemptions_total" "Best-effort tasks preempted"
-    (fun () -> t.be_preempts);
+    (fun () -> rc.Rc.be_preempts);
   c "skyloft_percpu_timer_ticks_total" "User-space timer interrupts handled"
     (fun () -> t.ticks);
   c "skyloft_percpu_watchdog_rescues_total" "Stuck cores rescued" (fun () ->
-      t.rescues);
+      rc.Rc.rescues);
   c "skyloft_percpu_deadline_drops_total" "Tasks killed at their deadline"
-    (fun () -> t.deadline_drops);
+    (fun () -> rc.Rc.deadline_drops);
   Registry.gauge reg ~labels "skyloft_percpu_be_allowance"
     ~help:"Cores the best-effort application may occupy" (fun () ->
-      float_of_int t.be_allowance);
+      float_of_int rc.Rc.be_allowance);
   Registry.histogram reg ~labels "skyloft_percpu_wakeup_latency_ns"
-    ~help:"Wakeup-to-dispatch latency" t.wakeups;
+    ~help:"Wakeup-to-dispatch latency" (wakeup_hist t);
   Registry.histogram reg ~labels "skyloft_percpu_rescue_detection_ns"
-    ~help:"Watchdog detection latency past the bound" t.rescue_detect;
+    ~help:"Watchdog detection latency past the bound" rc.Rc.rescue_detect;
   Registry.series reg ~labels "skyloft_percpu_queue_depth"
-    ~help:"LC policy queue length" t.queue_depth;
-  List.iter
-    (fun (app : App.t) ->
-      let al = labels @ [ Registry.app app.App.name ] in
-      Registry.counter reg ~labels:al "skyloft_app_spawned_total"
-        ~help:"Tasks spawned" (fun () -> app.App.spawned);
-      Registry.counter reg ~labels:al "skyloft_app_completed_total"
-        ~help:"Tasks completed" (fun () -> app.App.completed);
-      Registry.counter reg ~labels:al "skyloft_app_busy_ns_total"
-        ~help:"Accumulated worker CPU time" (fun () -> app.App.busy_ns);
-      Registry.histogram reg ~labels:al "skyloft_app_response_ns"
-        ~help:"Request response time" (Summary.latency app.App.summary);
-      Attribution.register reg ~labels:al app.App.attribution)
-    t.apps
+    ~help:"LC policy queue length" rc.Rc.queue_depth;
+  Rc.register_app_metrics rc ~labels reg

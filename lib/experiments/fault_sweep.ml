@@ -10,6 +10,7 @@ module Histogram = Skyloft_stats.Histogram
 module App = Skyloft.App
 module Centralized = Skyloft.Centralized
 module Percpu = Skyloft.Percpu
+module Hybrid = Skyloft.Hybrid
 module Allocator = Skyloft_alloc.Allocator
 module Alloc_policy = Skyloft_alloc.Policy
 module Nic = Skyloft_net.Nic
@@ -50,9 +51,10 @@ let poison_service = Time.ms 1
 let poison_deadline = Time.ms 2
 let fault_rates = [ 0.0; 0.01; 0.05 ]
 
-type runtime = Central | Percore
+type runtime = Central | Percore | Hybridized
 
-let runtimes = [ ("centralized", Central); ("percpu", Percore) ]
+let runtimes =
+  [ ("centralized", Central); ("percpu", Percore); ("hybrid", Hybridized) ]
 
 (* Fault intensity [rate] scales every class: IPI drop/delay probability is
    [rate] per delivery, one 30 µs core steal every [30 µs / rate], one
@@ -194,6 +196,40 @@ let make_percpu machine kmod =
     allocator = (fun () -> Percpu.allocator rt);
   }
 
+let make_hybrid machine kmod =
+  let rt =
+    Hybrid.create machine kmod ~dispatcher_core ~worker_cores ~quantum
+      ~alloc:(alloc_cfg ()) ~watchdog:watchdog_bound
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let lc = Hybrid.create_app rt ~name:"lc" in
+  let be = Hybrid.create_app rt ~name:"batch" in
+  Hybrid.attach_be_app rt be ~chunk:(Time.us 50) ~workers:n_workers;
+  {
+    submit =
+      (fun ~name ~service ~on_drop ~on_done ->
+        ignore
+          (Hybrid.submit rt lc ~record:false ~deadline
+             ~on_drop:(fun _ -> on_drop ())
+             ~name
+             (Coro.Compute
+                ( service,
+                  fun () ->
+                    on_done ();
+                    Coro.Exit ))));
+    poison =
+      (fun ~core:_ ~service ->
+        ignore
+          (Hybrid.submit rt lc ~record:false ~deadline:poison_deadline
+             ~name:"poison"
+             (Coro.Compute (service, fun () -> Coro.Exit))));
+    rescues = (fun () -> Hybrid.watchdog_rescues rt);
+    failovers = (fun () -> Hybrid.failovers rt);
+    deadline_drops = (fun () -> Hybrid.deadline_drops rt);
+    detect = (fun () -> Hybrid.rescue_detection rt);
+    allocator = (fun () -> Hybrid.allocator rt);
+  }
+
 let run_point (config : Config.t) ~runtime:(rt_name, which) ~rate =
   let engine = Engine.create ~seed:config.seed () in
   let machine = Machine.create engine Topology.paper_server in
@@ -202,6 +238,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~rate =
     match which with
     | Central -> make_centralized machine kmod
     | Percore -> make_percpu machine kmod
+    | Hybridized -> make_hybrid machine kmod
   in
   let nic = Nic.create engine ~queues:1 ~ring_capacity () in
   (* Split order is fixed so a zero-rate run draws the same generator
@@ -211,7 +248,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~rate =
   let injector = Injector.create ~engine ~rng:inj_rng () in
   let inject_cores =
     match which with
-    | Central -> dispatcher_core :: worker_cores
+    | Central | Hybridized -> dispatcher_core :: worker_cores
     | Percore -> percpu_cores
   in
   (match plans rate with

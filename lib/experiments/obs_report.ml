@@ -11,6 +11,7 @@ module Trace = Skyloft_stats.Trace
 module App = Skyloft.App
 module Centralized = Skyloft.Centralized
 module Percpu = Skyloft.Percpu
+module Hybrid = Skyloft.Hybrid
 module Allocator = Skyloft_alloc.Allocator
 module Alloc_policy = Skyloft_alloc.Policy
 module Nic = Skyloft_net.Nic
@@ -56,9 +57,10 @@ let fault_ns = Time.us 15  (* ...for this long *)
 let page_fault_period = Time.us 500  (* percpu: fault the task on core 0 *)
 let page_fault_ns = Time.us 20
 
-type runtime = Central | Percore
+type runtime = Central | Percore | Hybridized
 
-let runtimes = [ ("centralized", Central); ("percpu", Percore) ]
+let runtimes =
+  [ ("centralized", Central); ("percpu", Percore); ("hybrid", Hybridized) ]
 
 let alloc_cfg () =
   {
@@ -177,6 +179,51 @@ let make_percpu engine machine kmod =
     },
     (fun trace -> Percpu.set_trace rt trace) )
 
+let make_hybrid engine machine kmod =
+  let rt =
+    Hybrid.create machine kmod ~dispatcher_core ~worker_cores ~quantum
+      ~alloc:(alloc_cfg ()) ~watchdog:watchdog_bound
+      (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+  in
+  let lc = Hybrid.create_app rt ~name:"lc" in
+  let be = Hybrid.create_app rt ~name:"batch" in
+  Hybrid.attach_be_app rt be ~chunk:(Time.us 50) ~workers:n_workers;
+  ( rt,
+    {
+      submit =
+        (fun ~name ~service ~fault ->
+          if fault then begin
+            let s1, s2 = split_service service in
+            let body =
+              Coro.Compute
+                ( s1,
+                  fun () ->
+                    Coro.Block (fun () -> Coro.Compute (s2, fun () -> Coro.Exit))
+                )
+            in
+            let task = Hybrid.submit rt lc ~service ~name body in
+            ignore
+              (Engine.after engine (s1 + fault_ns) (fun () ->
+                   Hybrid.wakeup rt task))
+          end
+          else
+            ignore
+              (Hybrid.submit rt lc ~service ~name
+                 (Coro.Compute (service, fun () -> Coro.Exit))));
+      register =
+        (fun reg ->
+          Hybrid.register_metrics rt reg;
+          match Hybrid.allocator rt with
+          | Some a -> Allocator.register_metrics a reg
+          | None -> ());
+      lc;
+      be;
+      queue_series = Hybrid.queue_depth_series rt;
+      alloc = (fun () -> Hybrid.allocator rt);
+      fault_tick = (fun () -> ());
+    },
+    (fun trace -> Hybrid.set_trace rt trace) )
+
 type point = {
   runtime : string;
   instrumented : bool;
@@ -224,6 +271,9 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
     | Percore ->
         let _, iface, set = make_percpu engine machine kmod in
         (iface, set)
+    | Hybridized ->
+        let _, iface, set = make_hybrid engine machine kmod in
+        (iface, set)
   in
   let trace = Trace.create ~capacity:trace_capacity () in
   set_trace trace;
@@ -233,7 +283,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
   let injector = Injector.create ~engine ~rng:inj_rng () in
   let inject_cores =
     match which with
-    | Central -> dispatcher_core :: worker_cores
+    | Central | Hybridized -> dispatcher_core :: worker_cores
     | Percore -> percpu_cores
   in
   Injector.arm injector
@@ -266,7 +316,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
       Engine.every engine ~period:page_fault_period (fun () ->
           iface.fault_tick ();
           true)
-  | Central -> ());
+  | Central | Hybridized -> ());
   let until = config.duration + drain in
   Engine.run ~until engine;
   let rows =

@@ -14,6 +14,7 @@ type instant_kind =
   | Deadline_drop
   | Alloc_degrade
   | Alloc_recover
+  | Mode_switch
 
 type event =
   | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }
@@ -64,6 +65,7 @@ let kind_name = function
   | Deadline_drop -> "deadline-drop"
   | Alloc_degrade -> "alloc-degrade"
   | Alloc_recover -> "alloc-recover"
+  | Mode_switch -> "mode-switch"
 
 let escape s =
   let buf = Buffer.create (String.length s) in

@@ -28,6 +28,7 @@ type instant_kind =
   | Deadline_drop  (** a task was killed at its deadline *)
   | Alloc_degrade  (** the allocator fell back to its static policy *)
   | Alloc_recover  (** the allocator left degraded mode *)
+  | Mode_switch  (** a hybrid runtime changed dispatch mode *)
 
 type event =
   | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }

@@ -1,62 +1,31 @@
 (* Determinism regression: the simulation — fault injection included — is
    a pure function of the seed.  Two runs at the same seed must agree to
-   the byte (traces) and to the last counter (sweep points). *)
+   the byte (traces) and to the last counter (sweep points), and the
+   committed golden fingerprints pin the exact behaviour: any refactor
+   that changes a single scheduling decision, cost charge, or trace byte
+   at the fixed seeds fails here.  Regenerate intentionally with
+   [skyloft_run golden] after a behaviour-changing change. *)
 
 open Alcotest
-module Engine = Skyloft_sim.Engine
 module Time = Skyloft_sim.Time
-module Rng = Skyloft_sim.Rng
-module Coro = Skyloft_sim.Coro
-module Topology = Skyloft_hw.Topology
-module Machine = Skyloft_hw.Machine
-module Kmod = Skyloft_kernel.Kmod
-module Percpu = Skyloft.Percpu
-module Trace = Skyloft_stats.Trace
-module Plan = Skyloft_fault.Plan
-module Injector = Skyloft_fault.Injector
 module E = Skyloft_experiments
 
-(* A small per-CPU run with IPI loss, core steals and the watchdog armed,
-   fully traced; returns the rendered Chrome JSON. *)
-let traced_run ~seed =
-  (* app ids leak into the trace's pid fields; restart the process-wide
-     counter so both runs label the app identically *)
-  Skyloft.App.reset_ids ();
-  let engine = Engine.create () in
-  let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4) in
-  let kmod = Kmod.create machine in
-  let rt =
-    Percpu.create machine kmod ~cores:[ 0; 1; 2; 3 ] ~watchdog:(Time.us 100)
-      (Skyloft_policies.Fifo.create ())
-  in
-  let trace = Trace.create () in
-  Percpu.set_trace rt trace;
-  let rng = Rng.create ~seed in
-  let inj = Injector.create ~engine ~rng ~trace () in
-  Injector.arm inj
-    { Injector.machine; kmod = Some kmod; nic = None; cores = [ 0; 1; 2; 3 ];
-      poison = None }
-    [
-      Plan.ipi_loss ~p_drop:0.3 ~p_delay:0.3 ~delay:(Time.us 20) ();
-      Plan.core_steal ~period:(Time.us 200) ~duration:(Time.us 50) ();
-    ];
-  let app = Percpu.create_app rt ~name:"a" in
-  for i = 0 to 39 do
-    ignore
-      (Engine.at engine (i * Time.us 25) (fun () ->
-           ignore
-             (Percpu.spawn rt app
-                ~name:(Printf.sprintf "t%d" i)
-                (Coro.Compute (Time.us 10 + (i mod 7 * Time.us 4), fun () -> Coro.Exit)))))
-  done;
-  Engine.run ~until:(Time.ms 3) engine;
-  (Trace.to_chrome_json trace, Injector.injected inj)
-
 let test_trace_byte_identical () =
-  let json1, injected1 = traced_run ~seed:1234 in
-  let json2, injected2 = traced_run ~seed:1234 in
+  let json1, injected1 = E.Golden.traced_percpu ~seed:1234 in
+  let json2, injected2 = E.Golden.traced_percpu ~seed:1234 in
   check bool "faults were actually injected" true (injected1 > 0);
   check int "same injection count" injected1 injected2;
+  check bool "traces byte-identical at the same seed" true
+    (String.equal json1 json2)
+
+let test_hybrid_trace_byte_identical () =
+  let json1, injected1, switches1 = E.Golden.traced_hybrid ~seed:1234 in
+  let json2, injected2, switches2 = E.Golden.traced_hybrid ~seed:1234 in
+  check bool "faults were actually injected" true (injected1 > 0);
+  check bool "the burst crossed the hysteresis band (both modes covered)" true
+    (switches1 >= 2);
+  check int "same injection count" injected1 injected2;
+  check int "same mode-switch count" switches1 switches2;
   check bool "traces byte-identical at the same seed" true
     (String.equal json1 json2)
 
@@ -101,10 +70,40 @@ let test_obs_registry_transparent () =
         0 on_.E.Obs_report.mismatches)
     E.Obs_report.runtimes
 
+(* The committed goldens.  The percpu and centralized values predate the
+   Runtime_core extraction: both runtimes rewritten over the shared
+   substrate reproduce their original behaviour to the byte. *)
+let golden =
+  [
+    ("trace-percpu", "9c64a29436da6fcec0dc0f6163d2b289");
+    ("trace-centralized", "955699be07fb44fc55c69cde49b8a3c2");
+    ("trace-hybrid", "d0d03b164a30aa1e8594db8b407306cd");
+    ("fault-sweep-centralized", "68465e416532f1c4e86396a3ade56a41");
+    ("fault-sweep-percpu", "c75bbf972b642cb524545d99ab748a19");
+    ("fault-sweep-hybrid", "5df7e275881371c38e2b6e33e3f41b60");
+    ("obs-report-centralized", "8661815e83e556500087e0615508cdea");
+    ("obs-report-percpu", "15d4959e4628708894c4151cdb1e7e1b");
+    ("obs-report-hybrid", "2b8295ae9d0b0b633242042411c74f0c");
+  ]
+
+let test_golden_fingerprints () =
+  let got = E.Golden.fingerprints () in
+  check int "every golden entry computed" (List.length golden) (List.length got);
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name got with
+      | Some actual -> check string name expected actual
+      | None -> fail (Printf.sprintf "missing golden entry %s" name))
+    golden
+
 let suite =
   [
     test_case "trace bytes reproduce under faults" `Quick test_trace_byte_identical;
+    test_case "hybrid trace reproduces across both modes" `Quick
+      test_hybrid_trace_byte_identical;
     test_case "sweep point reproduces" `Slow test_sweep_point_reproducible;
     test_case "fault-free sweep reproduces" `Quick test_sweep_fault_free_reproducible;
     test_case "metrics registry is transparent" `Quick test_obs_registry_transparent;
+    test_case "golden fingerprints match the committed values" `Slow
+      test_golden_fingerprints;
   ]

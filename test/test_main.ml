@@ -7,6 +7,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("alloc", Test_alloc.suite);
       ("core", Test_core.suite);
+      ("runtime_core", Test_runtime_core.suite);
       ("net", Test_net.suite);
       ("policies", Test_policies.suite);
       ("apps", Test_apps.suite);
