@@ -26,16 +26,27 @@ let config_term =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
   in
-  let build quick full duration_ms seed =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run sweep cells across $(docv) domains.  Results are \
+             byte-identical at any value: every data point is an \
+             independent fixed-seed simulation, so parallelism only \
+             changes wall-clock time.")
+  in
+  let build quick full duration_ms seed jobs =
     let base =
       if quick then E.Config.quick else if full then E.Config.full else E.Config.default
     in
     let duration =
       match duration_ms with Some ms -> Time.ms ms | None -> base.E.Config.duration
     in
-    { E.Config.duration; seed }
+    { E.Config.duration; seed; jobs = max 1 jobs }
   in
-  Term.(const build $ quick $ full $ duration_ms $ seed)
+  Term.(const build $ quick $ full $ duration_ms $ seed $ jobs)
 
 let experiments : (string * string * (E.Config.t -> unit)) list =
   [
@@ -80,7 +91,7 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
       fun c -> ignore (E.Ablations.a5_hybrid_vs_parents c) );
     ( "golden",
       "print the determinism golden fingerprints (fixed seeds)",
-      fun _ -> E.Golden.print () );
+      fun c -> E.Golden.print c );
   ]
 
 let all_cmd config =

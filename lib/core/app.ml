@@ -13,8 +13,6 @@ type t = {
   attribution : Attribution.t;
 }
 
-let counter = ref 0
-
 let make id name =
   {
     id;
@@ -27,11 +25,9 @@ let make id name =
     attribution = Attribution.create ();
   }
 
-let create ~name =
-  incr counter;
-  make !counter name
-
-let reset_ids () = counter := 0
+let create ~id ~name =
+  if id <= 0 then invalid_arg "App.create: id must be positive (0 is the daemon)";
+  make id name
 
 let daemon () = make 0 "daemon"
 

@@ -23,18 +23,15 @@ type t = {
           stall segments), recorded by the runtimes alongside [summary] *)
 }
 
-val create : name:string -> t
-(** Fresh application with a process-wide unique id (starting at 1; id 0 is
-    the runtime's daemon). *)
+val create : id:int -> name:string -> t
+(** Fresh application with the given id (positive; id 0 is the runtime's
+    daemon).  Ids are allocated per run by {!Runtime_core} — there is no
+    process-wide counter, so simulations in different domains can never
+    race or perturb each other's ids.
+    @raise Invalid_argument if [id <= 0]. *)
 
 val daemon : unit -> t
 (** The Skyloft daemon pseudo-application (id 0): owns the idle loops. *)
-
-val reset_ids : unit -> unit
-(** Restart the process-wide id counter.  For tests that compare the
-    byte-level output of two sequential runs in one process: app ids leak
-    into trace [pid] fields, so each run must start from the same
-    counter.  Never call while a runtime is live. *)
 
 val cpu_share : t -> total_ns:int -> float
 (** Fraction of [total_ns] this application spent running. *)

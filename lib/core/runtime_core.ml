@@ -88,6 +88,9 @@ type t = {
   mutable deadline_drops : int;
   mutable trace : Trace.t option;
   mutable dispatch : dispatch;
+  mutable next_app_id : int;  (* per-run id allocators: ids used to come *)
+  mutable next_task_id : int;  (* from process-wide counters, which made
+                                  concurrent runs perturb each other *)
 }
 
 let create machine kmod ~record_wakeups ~trace_app_switches =
@@ -118,6 +121,8 @@ let create machine kmod ~record_wakeups ~trace_app_switches =
       deadline_drops = 0;
       trace = None;
       dispatch = null_dispatch;
+      next_app_id = 1;  (* id 0 is the daemon *)
+      next_task_id = 1;
     }
   in
   Hashtbl.replace t.by_id t.daemon.App.id t.daemon;
@@ -167,10 +172,17 @@ let install_policy t ctor =
 let find_app t id = Hashtbl.find t.by_id id
 
 let new_app t ~name =
-  let app = App.create ~name in
+  let id = t.next_app_id in
+  t.next_app_id <- id + 1;
+  let app = App.create ~id ~name in
   t.apps <- app :: t.apps;
   Hashtbl.replace t.by_id app.App.id app;
   app
+
+let fresh_task_id t =
+  let id = t.next_task_id in
+  t.next_task_id <- id + 1;
+  id
 
 let add_kthread t ~app ~core =
   let kt = Kmod.park_on_cpu t.kmod ~app ~core in
@@ -445,18 +457,22 @@ let admit t (app : App.t) ~name ~arrival ~service ~record body =
     if record then
       Some
         (fun (task : Task.t) ->
-          if task.Task.service > 0 then begin
-            Summary.record_request app.App.summary ~arrival:task.Task.arrival
-              ~completion:(now t) ~service:task.Task.service;
-            Attribution.record app.App.attribution
-              ~queueing:task.Task.obs_queued_ns
-              ~overhead:task.Task.obs_overhead_ns ~stall:task.Task.obs_stall_ns
-              ~response:(now t - task.Task.obs_start)
-              ~declared:task.Task.service
-          end)
+          (* Zero-service completions count too: omitting them broke the
+             submitted = completed + gave-up + drops reconciliation for
+             degenerate workloads. *)
+          Summary.record_request app.App.summary ~arrival:task.Task.arrival
+            ~completion:(now t) ~service:task.Task.service;
+          Attribution.record app.App.attribution
+            ~queueing:task.Task.obs_queued_ns
+            ~overhead:task.Task.obs_overhead_ns ~stall:task.Task.obs_stall_ns
+            ~response:(now t - task.Task.obs_start)
+            ~declared:task.Task.service)
     else None
   in
-  let task = Task.create ~app:app.App.id ~name ~arrival ~service ?on_exit body in
+  let task =
+    Task.create ~id:(fresh_task_id t) ~app:app.App.id ~name ~arrival ~service
+      ?on_exit body
+  in
   task.Task.obs_start <- now t;
   task.Task.obs_enq_at <- now t;
   app.App.spawned <- app.App.spawned + 1;
@@ -537,7 +553,8 @@ let spawn_be_workers t (app : App.t) ~chunk ~workers ~who =
        between chunks so reclaimed cores come back promptly. *)
     let rec loop () = Coro.Compute (chunk, fun () -> Coro.Yield loop) in
     let task =
-      Task.create ~app:app.App.id ~name:(Printf.sprintf "be-%d" i) (loop ())
+      Task.create ~id:(fresh_task_id t) ~app:app.App.id
+        ~name:(Printf.sprintf "be-%d" i) (loop ())
     in
     app.App.spawned <- app.App.spawned + 1;
     app.App.tasks_alive <- app.App.tasks_alive + 1;

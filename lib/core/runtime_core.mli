@@ -82,6 +82,12 @@ type t = {
   mutable deadline_drops : int;
   mutable trace : Trace.t option;
   mutable dispatch : dispatch;
+  mutable next_app_id : int;
+      (** per-run app-id allocator (1, 2, ...; the daemon is 0).  Ids used
+          to come from a process-wide counter, which made simulations in
+          different domains perturb each other; per-run state keeps every
+          run a pure function of its seed under any parallelism. *)
+  mutable next_task_id : int;  (** per-run task-id allocator (1, 2, ...) *)
 }
 
 val create :
@@ -189,7 +195,9 @@ val admit :
   Task.t
 (** Create a task owned by [app] with the attribution-recording exit hook
     (when [record]) and the spawn counters bumped; placement is the
-    runtime's job. *)
+    runtime's job.  Every recorded completion counts — including
+    zero-service tasks — so submitted = completed + gave-up + drops
+    reconciles for degenerate workloads. *)
 
 (** {1 Watchdog bookkeeping} *)
 

@@ -33,12 +33,9 @@ type t = {
   mutable obs_stall_ns : int;
 }
 
-let counter = ref 0
-
-let create ~app ~name ?(arrival = 0) ?(service = 0) ?on_exit body =
-  incr counter;
+let create ~id ~app ~name ?(arrival = 0) ?(service = 0) ?on_exit body =
   {
-    id = !counter;
+    id;
     app;
     name;
     state = Runnable;

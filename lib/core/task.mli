@@ -62,9 +62,11 @@ type t = {
 }
 
 val create :
-  app:int -> name:string -> ?arrival:Time.t -> ?service:Time.t ->
+  id:int -> app:int -> name:string -> ?arrival:Time.t -> ?service:Time.t ->
   ?on_exit:(t -> unit) -> Coro.t -> t
-(** Fresh runnable task with a process-wide unique id. *)
+(** Fresh runnable task.  Ids are allocated per run by {!Runtime_core}
+    (no process-wide counter), so concurrent simulations in different
+    domains cannot perturb each other's task ids. *)
 
 val is_runnable : t -> bool
 val pp : Format.formatter -> t -> unit

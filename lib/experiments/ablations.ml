@@ -60,17 +60,20 @@ let a1_tick_frequency (config : Config.t) =
     Engine.run ~until:config.duration engine;
     float_of_int (!done_ * Time.us 10) /. float_of_int config.duration
   in
-  let base = run 0 in
+  let rates = [ 0; 1_000; 10_000; 100_000; 1_000_000 ] in
+  let effs = Parallel.map ~jobs:config.jobs run rates in
+  (* the hz=0 cell doubles as the baseline: fresh engines make it the
+     same value the old separate base run produced *)
+  let base = List.hd effs in
   let rows =
-    List.map
-      (fun hz ->
-        let eff = run hz in
+    List.map2
+      (fun hz eff ->
         [
           (if hz = 0 then "no timer" else Printf.sprintf "%d Hz" hz);
           Report.pct eff;
           Report.pct (eff /. base);
         ])
-      [ 0; 1_000; 10_000; 100_000; 1_000_000 ]
+      rates effs
   in
   Report.table ~header:[ "tick rate"; "useful CPU"; "vs no timer" ] rows;
   Report.note "each tick costs the user-timer receive (~321ns) + SN re-post (~62ns);";
@@ -124,8 +127,15 @@ let a2_percpu_vs_centralized (config : Config.t) =
     Engine.run ~until:(config.duration + Time.ms 60) engine;
     (app.App.summary, n_cores - 1)
   in
-  let pc, pc_workers = run_percpu () in
-  let ct, ct_workers = run_centralized () in
+  let pc, pc_workers, ct, ct_workers =
+    match
+      Parallel.map ~jobs:config.jobs
+        (fun f -> f ())
+        [ run_percpu; run_centralized ]
+    with
+    | [ (pc, pcw); (ct, ctw) ] -> (pc, pcw, ct, ctw)
+    | _ -> assert false
+  in
   Report.table
     ~header:[ "design"; "workers"; "served"; "p99 (us)"; "p99.9 (us)" ]
     [
@@ -177,7 +187,7 @@ let a3_dispatcher_scalability (config : Config.t) =
     float_of_int !in_window /. Time.to_s_float config.duration /. 1.0e6
   in
   let rows =
-    List.map
+    Parallel.map ~jobs:config.jobs
       (fun workers ->
         [ string_of_int workers; Printf.sprintf "%.2f Mrps" (run workers) ])
       [ 2; 4; 8; 16; 32 ]
@@ -217,20 +227,26 @@ let a4_nic_modes (config : Config.t) =
     ]
   in
   let rows =
-    [
-      run "spin polling (dedicated core)"
-        (fun engine _ -> Nic.create engine ~queues:2 ())
-        (fun rt app nic -> Udp_server.attach rt app nic ~cores);
-      run "periodic polling (10us)"
-        (fun engine _ -> Nic.create engine ~queues:2 ~mode:(Nic.Periodic (Time.us 10)) ())
-        (fun rt app nic -> Udp_server.attach rt app nic ~cores);
-      run "user interrupt (MSI via UINTR)"
-        (fun engine machine ->
-          Nic.create engine ~queues:2
-            ~mode:(Nic.Msi { machine; cores = Array.of_list cores })
-            ())
-        (fun rt app nic -> Udp_server.attach_irq rt app nic ~cores);
-    ]
+    Parallel.map ~jobs:config.jobs
+      (fun f -> f ())
+      [
+        (fun () ->
+          run "spin polling (dedicated core)"
+            (fun engine _ -> Nic.create engine ~queues:2 ())
+            (fun rt app nic -> Udp_server.attach rt app nic ~cores));
+        (fun () ->
+          run "periodic polling (10us)"
+            (fun engine _ ->
+              Nic.create engine ~queues:2 ~mode:(Nic.Periodic (Time.us 10)) ())
+            (fun rt app nic -> Udp_server.attach rt app nic ~cores));
+        (fun () ->
+          run "user interrupt (MSI via UINTR)"
+            (fun engine machine ->
+              Nic.create engine ~queues:2
+                ~mode:(Nic.Msi { machine; cores = Array.of_list cores })
+                ())
+            (fun rt app nic -> Udp_server.attach_irq rt app nic ~cores));
+      ]
   in
   Report.table ~header:[ "rx mode"; "p50 (us)"; "p99 (us)" ] rows;
   Report.note "user-mode MSI delivery needs no polling core and no kernel, at";
@@ -328,15 +344,16 @@ let a5_hybrid_vs_parents (config : Config.t) =
          | Hybrid.Central -> "central"
          | Hybrid.Percore -> "percore"))
   in
-  let rows =
+  let cells =
     List.concat_map
-      (fun load ->
-        let rate = load *. cap in
-        let label = Printf.sprintf "%.0f%%" (load *. 100.) in
-        List.map
-          (fun row -> label :: row)
-          [ run_percpu rate; run_centralized rate; run_hybrid rate ])
+      (fun load -> List.map (fun r -> (load, r)) [ run_percpu; run_centralized; run_hybrid ])
       [ 0.2; 0.8 ]
+  in
+  let rows =
+    Parallel.map ~jobs:config.jobs
+      (fun (load, r) ->
+        Printf.sprintf "%.0f%%" (load *. 100.) :: r (load *. cap))
+      cells
   in
   Report.table
     ~header:[ "load"; "design"; "served"; "p50 (us)"; "p99 (us)"; "mode" ]

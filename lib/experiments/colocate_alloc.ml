@@ -98,8 +98,27 @@ let run_point (config : Config.t) ~policy:(policy_name, make_policy) ~load_frac 
 
 let load_fractions = [ 0.2; 0.5; 0.8 ]
 
-let sweep config ~policy =
-  List.map (fun load_frac -> run_point config ~policy ~load_frac) load_fractions
+let sweep (config : Config.t) ~policy =
+  Parallel.map ~jobs:config.jobs
+    (fun load_frac -> run_point config ~policy ~load_frac)
+    load_fractions
+
+(* One cell per (policy, load fraction), fanned across domains. *)
+let sweep_all (config : Config.t) policies =
+  let cells =
+    List.concat_map
+      (fun p -> List.map (fun load_frac -> (p, load_frac)) load_fractions)
+      policies
+  in
+  let points =
+    Parallel.map ~jobs:config.jobs
+      (fun (p, load_frac) -> run_point config ~policy:p ~load_frac)
+      cells
+  in
+  List.map2
+    (fun p pts -> (fst p, pts))
+    policies
+    (Parallel.group ~size:(List.length load_fractions) points)
 
 let print config =
   Report.section
@@ -107,7 +126,7 @@ let print config =
        "Core-allocation policies: LC + batch co-location, 20 workers (saturation \
         ~%.0f krps)"
        (saturation /. 1000.));
-  let results = List.map (fun p -> (fst p, sweep config ~policy:p)) policies in
+  let results = sweep_all config policies in
   Report.subsection "LC p99 latency (us)";
   let header =
     "policy"

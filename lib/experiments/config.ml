@@ -4,10 +4,12 @@ module Time = Skyloft_sim.Time
 
     [duration] is virtual seconds simulated per data point; the default
     trades a little percentile resolution for bench wall-clock time.
-    Everything is deterministic given [seed]. *)
+    Everything is deterministic given [seed]: [jobs] only fans sweep
+    cells across domains (via {!Parallel.map}) and never changes
+    results. *)
 
-type t = { duration : Time.t; seed : int }
+type t = { duration : Time.t; seed : int; jobs : int }
 
-let default = { duration = Time.ms 300; seed = 42 }
-let quick = { duration = Time.ms 80; seed = 42 }
-let full = { duration = Time.s 1; seed = 42 }
+let default = { duration = Time.ms 300; seed = 42; jobs = 1 }
+let quick = { duration = Time.ms 80; seed = 42; jobs = 1 }
+let full = { duration = Time.s 1; seed = 42; jobs = 1 }

@@ -311,8 +311,27 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~rate =
     steals = Kmod.steals kmod;
   }
 
-let sweep config ~runtime =
-  List.map (fun rate -> run_point config ~runtime ~rate) fault_rates
+let sweep (config : Config.t) ~runtime =
+  Parallel.map ~jobs:config.jobs
+    (fun rate -> run_point config ~runtime ~rate)
+    fault_rates
+
+(* One cell per (runtime, rate), fanned across domains. *)
+let sweep_all (config : Config.t) =
+  let cells =
+    List.concat_map
+      (fun runtime -> List.map (fun rate -> (runtime, rate)) fault_rates)
+      runtimes
+  in
+  let points =
+    Parallel.map ~jobs:config.jobs
+      (fun (runtime, rate) -> run_point config ~runtime ~rate)
+      cells
+  in
+  List.map2
+    (fun (name, _) pts -> (name, pts))
+    runtimes
+    (Parallel.group ~size:(List.length fault_rates) points)
 
 (* ---- reporting ----------------------------------------------------------- *)
 
@@ -355,9 +374,7 @@ let print config =
        "Fault-rate sweep: recovery under injected faults, %d workers at %.0f%% \
         load"
        n_workers (load_frac *. 100.));
-  let results =
-    List.map (fun runtime -> (fst runtime, sweep config ~runtime)) runtimes
-  in
+  let results = sweep_all config in
   List.iter
     (fun (name, pts) ->
       Report.subsection (Printf.sprintf "%s runtime" name);

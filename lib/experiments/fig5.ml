@@ -55,22 +55,41 @@ let run_one (config : Config.t) system ~workers =
 
 type point = { workers : int; p50 : Time.t; p99 : Time.t; samples : int }
 
-let sweep config system =
-  List.map
-    (fun workers ->
-      let h = run_one config system ~workers in
-      {
-        workers;
-        p50 = Histogram.percentile h 50.0;
-        p99 = Histogram.percentile h 99.0;
-        samples = Histogram.count h;
-      })
+let point config system ~workers =
+  let h = run_one config system ~workers in
+  {
+    workers;
+    p50 = Histogram.percentile h 50.0;
+    p99 = Histogram.percentile h 99.0;
+    samples = Histogram.count h;
+  }
+
+let sweep (config : Config.t) system =
+  Parallel.map ~jobs:config.jobs
+    (fun workers -> point config system ~workers)
     worker_counts
 
-let print config =
+let print (config : Config.t) =
   Report.section
     "Figure 5: schbench p99 wakeup latency (us) vs worker threads, 24 cores";
-  let results = List.map (fun s -> (name_of s, sweep config s)) systems in
+  (* One cell per (system, worker count): the whole grid fans across
+     domains instead of one row at a time. *)
+  let cells =
+    List.concat_map
+      (fun s -> List.map (fun w -> (s, w)) worker_counts)
+      systems
+  in
+  let points =
+    Parallel.map ~jobs:config.jobs
+      (fun (s, w) -> point config s ~workers:w)
+      cells
+  in
+  let results =
+    List.map2
+      (fun s pts -> (name_of s, pts))
+      systems
+      (Parallel.group ~size:(List.length worker_counts) points)
+  in
   let header = "system" :: List.map string_of_int worker_counts in
   let rows =
     List.map

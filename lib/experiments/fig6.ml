@@ -33,20 +33,26 @@ let run_one (config : Config.t) ~slice ~workers =
   let runner = Runner.of_percpu rt app in
   Schbench.run runner engine (Schbench.default_config ~workers) ~duration:config.duration
 
-let print config =
+let print (config : Config.t) =
   Report.section "Figure 6: schbench p99 wakeup latency (us) vs RR time slice, 24 cores";
   let header = "slice" :: List.map (fun w -> Printf.sprintf "%dw" w) worker_counts in
   let all = slices @ [ None ] in
+  (* One cell per (slice, worker count), fanned across domains. *)
+  let cells =
+    List.concat_map (fun slice -> List.map (fun w -> (slice, w)) worker_counts) all
+  in
+  let points =
+    Parallel.map ~jobs:config.jobs
+      (fun (slice, workers) ->
+        let h = run_one config ~slice ~workers in
+        Report.us (Histogram.percentile h 99.0))
+      cells
+  in
   let rows =
-    List.map
-      (fun slice ->
-        slice_name slice
-        :: List.map
-             (fun workers ->
-               let h = run_one config ~slice ~workers in
-               Report.us (Histogram.percentile h 99.0))
-             worker_counts)
+    List.map2
+      (fun slice row -> slice_name slice :: row)
       all
+      (Parallel.group ~size:(List.length worker_counts) points)
   in
   Report.table ~header rows;
   Report.note "paper: wakeup latency is roughly proportional to the time slice";

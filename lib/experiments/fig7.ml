@@ -121,10 +121,28 @@ let run_point config system ~with_be ~rate_rps =
 
 let load_fractions = [ 0.1; 0.3; 0.5; 0.6; 0.7; 0.8; 0.9; 0.95; 1.0; 1.1; 1.3 ]
 
-let sweep config system ~with_be =
-  List.map
+let sweep (config : Config.t) system ~with_be =
+  Parallel.map ~jobs:config.jobs
     (fun frac -> run_point config system ~with_be ~rate_rps:(frac *. saturation))
     load_fractions
+
+(* One cell per (system, load fraction): the whole grid fans across
+   domains instead of one system row at a time. *)
+let sweep_all (config : Config.t) systems ~with_be =
+  let cells =
+    List.concat_map
+      (fun s -> List.map (fun frac -> (s, frac)) load_fractions)
+      systems
+  in
+  let points =
+    Parallel.map ~jobs:config.jobs
+      (fun (s, frac) -> run_point config s ~with_be ~rate_rps:(frac *. saturation))
+      cells
+  in
+  List.map2
+    (fun s pts -> (system_name s, pts))
+    systems
+    (Parallel.group ~size:(List.length load_fractions) points)
 
 let systems_7a = [ Skyloft_c (Time.us 30); Skyloft_c (Time.us 15); Shinjuku_c; Ghost_c; Linux_c ]
 let systems_7bc = [ Skyloft_c (Time.us 30); Shinjuku_c; Ghost_c; Linux_c ]
@@ -176,7 +194,7 @@ let print_a config =
        "Figure 7a: p99 latency (us) vs offered load, dispersive workload (saturation \
         ~%.0f krps)"
        (saturation /. 1000.));
-  let results = List.map (fun s -> (system_name s, sweep config s ~with_be:false)) systems_7a in
+  let results = sweep_all config systems_7a ~with_be:false in
   print_latency_table results;
   Report.subsection "achieved throughput (krps)";
   print_throughput_table results;
@@ -187,9 +205,7 @@ let print_a config =
 
 let print_b config =
   Report.section "Figure 7b: p99 latency (us) with a co-located batch application";
-  let results =
-    List.map (fun s -> (system_name s, sweep config s ~with_be:true)) systems_7bc
-  in
+  let results = sweep_all config systems_7bc ~with_be:true in
   print_latency_table results;
   print_slo_summary results;
   Report.note "paper: co-location does not change Skyloft's tail latency";

@@ -90,8 +90,21 @@ let memcached_saturation = Memcached.saturation_rps ~cores:memcached_workers
 let memcached_fractions = [ 0.2; 0.4; 0.6; 0.7; 0.8; 0.9; 0.95 ]
 let memcached_systems = [ Sky_ws None; Shenango_ws ]
 
-let sweep_memcached config system =
-  List.map
+(* One cell per (system, load fraction), fanned across domains. *)
+let sweep_grid (config : Config.t) systems ~fractions ~run =
+  let cells =
+    List.concat_map (fun s -> List.map (fun frac -> (s, frac)) fractions) systems
+  in
+  let points =
+    Parallel.map ~jobs:config.jobs (fun (s, frac) -> run s frac) cells
+  in
+  List.map2
+    (fun s pts -> (system_name s, pts))
+    systems
+    (Parallel.group ~size:(List.length fractions) points)
+
+let sweep_memcached (config : Config.t) system =
+  Parallel.map ~jobs:config.jobs
     (fun frac ->
       run_server config system ~workers:memcached_workers ~service:Memcached.service
         ~rate_rps:(frac *. memcached_saturation))
@@ -103,7 +116,12 @@ let print_a config =
        "Figure 8a: Memcached USR workload, 4 workers — p99.9 latency (us) vs load \
         (saturation ~%.0f krps)"
        (memcached_saturation /. 1000.));
-  let results = List.map (fun s -> (system_name s, sweep_memcached config s)) memcached_systems in
+  let results =
+    sweep_grid config memcached_systems ~fractions:memcached_fractions
+      ~run:(fun s frac ->
+        run_server config s ~workers:memcached_workers ~service:Memcached.service
+          ~rate_rps:(frac *. memcached_saturation))
+  in
   let header =
     "system"
     :: List.map (fun f -> Printf.sprintf "%.0f%%" (f *. 100.)) memcached_fractions
@@ -142,8 +160,8 @@ let rocksdb_systems =
     Shenango_ws;
   ]
 
-let sweep_rocksdb config system =
-  List.map
+let sweep_rocksdb (config : Config.t) system =
+  Parallel.map ~jobs:config.jobs
     (fun frac ->
       run_server config system ~workers:rocksdb_workers ~service:Rocksdb.service
         ~rate_rps:(frac *. rocksdb_saturation))
@@ -161,7 +179,12 @@ let print_b config =
        "Figure 8b: RocksDB bimodal 50/50 GET/SCAN, 14 workers — p99.9 slowdown vs load \
         (saturation ~%.1f krps)"
        (rocksdb_saturation /. 1000.));
-  let results = List.map (fun s -> (system_name s, sweep_rocksdb config s)) rocksdb_systems in
+  let results =
+    sweep_grid config rocksdb_systems ~fractions:rocksdb_fractions
+      ~run:(fun s frac ->
+        run_server config s ~workers:rocksdb_workers ~service:Rocksdb.service
+          ~rate_rps:(frac *. rocksdb_saturation))
+  in
   let header =
     "system"
     :: List.map (fun f -> Printf.sprintf "%.0f%%" (f *. 100.)) rocksdb_fractions

@@ -5,7 +5,6 @@ module Coro = Skyloft_sim.Coro
 module Topology = Skyloft_hw.Topology
 module Machine = Skyloft_hw.Machine
 module Kmod = Skyloft_kernel.Kmod
-module App = Skyloft.App
 module Percpu = Skyloft.Percpu
 module Centralized = Skyloft.Centralized
 module Hybrid = Skyloft.Hybrid
@@ -28,9 +27,8 @@ module Injector = Skyloft_fault.Injector
 (* A small per-CPU run with IPI loss, core steals and the watchdog armed,
    fully traced; returns the rendered Chrome JSON. *)
 let traced_percpu ~seed =
-  (* app ids leak into the trace's pid fields; restart the process-wide
-     counter so every run labels the app identically *)
-  App.reset_ids ();
+  (* app ids leak into the trace's pid fields; per-run allocation in
+     Runtime_core labels the app identically in every run *)
   let engine = Engine.create () in
   let machine =
     Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4)
@@ -66,7 +64,6 @@ let traced_percpu ~seed =
 (* The centralized counterpart: dispatcher + four workers under the same
    fault classes, quantum preemption and the watchdog armed. *)
 let traced_centralized ~seed =
-  App.reset_ids ();
   let engine = Engine.create () in
   let machine =
     Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:5)
@@ -105,7 +102,6 @@ let traced_centralized ~seed =
    enough to cross the hysteresis band — the golden covers both dispatch
    modes and the [Mode_switch] instants between them. *)
 let traced_hybrid ~seed =
-  App.reset_ids ();
   let engine = Engine.create () in
   let machine =
     Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:5)
@@ -163,39 +159,45 @@ let digest s = Digest.to_hex (Digest.string s)
 (* Fixed seeds and durations: golden values must not depend on the CLI
    config, only on the code. *)
 let trace_seed = 1234
-let sweep_config = { Config.duration = Time.ms 5; seed = 11 }
+let sweep_config = { Config.duration = Time.ms 5; seed = 11; jobs = 1 }
 let sweep_rate = 0.05
-let obs_config = { Config.duration = Time.ms 5; seed = 7 }
+let obs_config = { Config.duration = Time.ms 5; seed = 7; jobs = 1 }
 
-let fingerprints () =
-  let traced =
+(* Every golden is one independent cell; [jobs] fans them across domains.
+   The values must be identical at any [jobs] — that invariance, checked
+   against the committed digests, is the proof that parallelization is
+   transparent. *)
+let fingerprints ?(jobs = 1) () =
+  let cells =
     [
-      ("trace-percpu", digest (fst (traced_percpu ~seed:trace_seed)));
-      ("trace-centralized", digest (fst (traced_centralized ~seed:trace_seed)));
-      (let json, _, _ = traced_hybrid ~seed:trace_seed in
-       ("trace-hybrid", digest json));
+      ("trace-percpu", fun () -> digest (fst (traced_percpu ~seed:trace_seed)));
+      ( "trace-centralized",
+        fun () -> digest (fst (traced_centralized ~seed:trace_seed)) );
+      ( "trace-hybrid",
+        fun () ->
+          let json, _, _ = traced_hybrid ~seed:trace_seed in
+          digest json );
     ]
+    @ List.map
+        (fun ((name, _) as runtime) ->
+          ( "fault-sweep-" ^ name,
+            fun () ->
+              digest
+                (fault_point_string
+                   (Fault_sweep.run_point sweep_config ~runtime ~rate:sweep_rate))
+          ))
+        Fault_sweep.runtimes
+    @ List.map
+        (fun ((name, _) as runtime) ->
+          ( "obs-report-" ^ name,
+            fun () ->
+              (Obs_report.run_point obs_config ~runtime ~instrumented:false)
+                .Obs_report.fingerprint ))
+        Obs_report.runtimes
   in
-  let sweeps =
-    List.map
-      (fun ((name, _) as runtime) ->
-        ( "fault-sweep-" ^ name,
-          digest
-            (fault_point_string
-               (Fault_sweep.run_point sweep_config ~runtime ~rate:sweep_rate)) ))
-      Fault_sweep.runtimes
-  in
-  let obs =
-    List.map
-      (fun ((name, _) as runtime) ->
-        ( "obs-report-" ^ name,
-          (Obs_report.run_point obs_config ~runtime ~instrumented:false)
-            .Obs_report.fingerprint ))
-      Obs_report.runtimes
-  in
-  traced @ sweeps @ obs
+  Parallel.map ~jobs (fun (name, f) -> (name, f ())) cells
 
-let print () =
+let print (config : Config.t) =
   Report.section "Golden determinism fingerprints (fixed seeds)";
   List.iter (fun (name, fp) -> Printf.printf "  %-24s %s\n" name fp)
-    (fingerprints ())
+    (fingerprints ~jobs:config.jobs ())

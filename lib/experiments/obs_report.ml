@@ -258,8 +258,8 @@ let fingerprint_of ~trace_json ~rows ~queue_series =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
-  (* App ids leak into trace pids; both arms must allocate the same ids. *)
-  App.reset_ids ();
+  (* App ids leak into trace pids; per-run allocation in Runtime_core
+     guarantees both arms assign the same ids without any global reset. *)
   let engine = Engine.create ~seed:config.seed () in
   let machine = Machine.create engine Topology.paper_server in
   let kmod = Kmod.create machine in
@@ -407,19 +407,31 @@ let print config =
        "Observability report: attribution + trace analysis, %d cores at \
         %.0f%% load"
        n_workers (load_frac *. 100.));
+  (* One cell per (runtime, arm), fanned across domains; the on/off
+     comparison happens after the merge. *)
+  let cells =
+    List.concat_map
+      (fun runtime -> [ (runtime, true); (runtime, false) ])
+      runtimes
+  in
+  let points =
+    Parallel.map ~jobs:config.Config.jobs
+      (fun (runtime, instrumented) -> run_point config ~runtime ~instrumented)
+      cells
+  in
   let results =
     List.map
-      (fun runtime ->
-        let on_ = run_point config ~runtime ~instrumented:true in
-        let off = run_point config ~runtime ~instrumented:false in
-        if on_.fingerprint <> off.fingerprint then
-          fail
-            "obs-report[%s]: registry-on run differs from registry-off run \
-             (%s vs %s) — observation perturbed the simulation"
-            on_.runtime on_.fingerprint off.fingerprint;
-        check_point on_;
-        on_)
-      runtimes
+      (function
+        | [ on_; off ] ->
+            if on_.fingerprint <> off.fingerprint then
+              fail
+                "obs-report[%s]: registry-on run differs from registry-off run \
+                 (%s vs %s) — observation perturbed the simulation"
+                on_.runtime on_.fingerprint off.fingerprint;
+            check_point on_;
+            on_
+        | _ -> assert false)
+      (Parallel.group ~size:2 points)
   in
   List.iter
     (fun p ->

@@ -109,8 +109,21 @@ let unmask_interrupts c =
   c.masked <- false;
   let queued = List.rev c.pending in
   c.pending <- [];
-  List.iter (fun v -> if not c.masked then dispatch c v else c.pending <- v :: c.pending)
-    queued
+  let rec replay = function
+    | [] -> ()
+    | v :: rest ->
+        if c.masked then
+          (* A handler re-masked mid-replay.  The still-queued remainder is
+             older than anything raised since the re-mask, so it belongs at
+             the back of [pending] (which is newest-first): appending its
+             reversal preserves global arrival order. *)
+          c.pending <- c.pending @ List.rev (v :: rest)
+        else begin
+          dispatch c v;
+          replay rest
+        end
+  in
+  replay queued
 
 (* Fault injection (lib/fault): an optional hook decides the fate of each
    interrupt about to be delivered.  Without a hook every call is [Deliver]
@@ -168,7 +181,11 @@ let timer_set_periodic t ~core:i ~hz =
         (match fault_fate t ~core:i Vectors.timer with
         | Drop -> ()
         | Delay d ->
-            ignore (Engine.after t.engine d (fun () -> raise_vector c Vectors.timer))
+            (* Recheck the generation at fire time: a tick delayed past
+               [timer_stop] (or past a re-arm) must not deliver. *)
+            ignore
+              (Engine.after t.engine d (fun () ->
+                   if c.timer_gen = gen then raise_vector c Vectors.timer))
         | Deliver -> raise_vector c Vectors.timer);
         true
       end
@@ -176,13 +193,17 @@ let timer_set_periodic t ~core:i ~hz =
 
 let timer_one_shot t ~core:i ~after =
   let c = core t i in
+  let gen = c.timer_gen in
   ignore
     (Engine.after t.engine after (fun () ->
-         match fault_fate t ~core:i Vectors.timer with
-         | Drop -> ()
-         | Delay d ->
-             ignore (Engine.after t.engine d (fun () -> raise_vector c Vectors.timer))
-         | Deliver -> raise_vector c Vectors.timer))
+         if c.timer_gen = gen then
+           match fault_fate t ~core:i Vectors.timer with
+           | Drop -> ()
+           | Delay d ->
+               ignore
+                 (Engine.after t.engine d (fun () ->
+                      if c.timer_gen = gen then raise_vector c Vectors.timer))
+           | Deliver -> raise_vector c Vectors.timer))
 
 let timer_hz c = c.hz
 

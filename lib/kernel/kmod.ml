@@ -19,6 +19,7 @@ type kthread = {
 type t = {
   machine : Machine.t;
   mutable threads : kthread list;
+  mutable next_tid : int;  (* per-instance tid allocator: no global state *)
   steal_handlers : (int, duration:Time.t -> unit) Hashtbl.t;
   stolen : (int, Time.t) Hashtbl.t;  (* core -> end of the current steal *)
   mutable steals : int;
@@ -28,6 +29,7 @@ let create machine =
   {
     machine;
     threads = [];
+    next_tid = 1;
     steal_handlers = Hashtbl.create 8;
     stolen = Hashtbl.create 8;
     steals = 0;
@@ -44,9 +46,10 @@ let active_on t ~core =
 let park_on_cpu t ~app ~core =
   if core < 0 || core >= Machine.n_cores t.machine then
     invalid_arg "Kmod.park_on_cpu: bad core";
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
   let kt =
-    { tid = Kthread.fresh_tid (); app; core; ctx = Machine.uintr_create_ctx ();
-      state = Parked }
+    { tid; app; core; ctx = Machine.uintr_create_ctx (); state = Parked }
   in
   t.threads <- kt :: t.threads;
   kt

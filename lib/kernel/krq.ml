@@ -1,0 +1,214 @@
+(* Indexed runqueue for the Linux scheduler models.
+
+   The previous representation was a plain [Kthread.t list] in enqueue
+   order: O(n) append on enqueue, O(n) scans for the CFS min-vruntime and
+   EEVDF min-deadline picks, and O(n) removal.  This module replaces it
+   with an augmented AVL tree ordered by [(key, seq)] where [key] is the
+   policy sort key (vruntime for CFS/EEVDF, 0.0 for RR so the order
+   degenerates to FIFO) and [seq] is a fresh per-enqueue sequence number.
+   Because the scheduler never mutates vruntime/deadline/affinity while a
+   thread sits in a runqueue (only [curr] is accounted), the keys
+   snapshotted at insert stay valid for the entry's whole residence.
+
+   Tie-breaking is identical to the old left-fold with strict [<] over
+   the enqueue-ordered list: among equal keys the earliest-enqueued
+   thread (smallest [seq]) wins. *)
+
+type entry = {
+  kt : Kthread.t;
+  key : float;  (* policy sort key: vruntime (CFS/EEVDF) or 0.0 (RR) *)
+  seq : int;  (* enqueue order; unique tiebreak *)
+  vr : float;  (* vruntime snapshot at enqueue *)
+  dl : float;  (* EEVDF deadline snapshot at enqueue *)
+  unpinned : bool;  (* affinity = None at enqueue (never mutated enqueued) *)
+}
+
+type tree =
+  | Leaf
+  | Node of {
+      l : tree;
+      e : entry;
+      r : tree;
+      height : int;
+      size : int;
+      sum_vr : float;  (* sum of vruntime over the subtree *)
+      min_vr : float;  (* min vruntime over the subtree *)
+      min_dl : entry;  (* min (deadline, seq) over the subtree *)
+      first_unp : entry option;  (* min seq among unpinned, if any *)
+    }
+
+let height = function Leaf -> 0 | Node n -> n.height
+let size = function Leaf -> 0 | Node n -> n.size
+let sum_vr = function Leaf -> 0.0 | Node n -> n.sum_vr
+let min_vr = function Leaf -> infinity | Node n -> n.min_vr
+let min_dl_opt = function Leaf -> None | Node n -> Some n.min_dl
+let first_unp = function Leaf -> None | Node n -> n.first_unp
+
+(* min by (deadline, seq); seq is unique so the order is total. *)
+let pick_dl a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ea, Some eb ->
+      if ea.dl < eb.dl || (ea.dl = eb.dl && ea.seq < eb.seq) then a else b
+
+let pick_unp a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ea, Some eb -> if ea.seq < eb.seq then a else b
+
+let mk l e r =
+  let min_dl =
+    match pick_dl (pick_dl (Some e) (min_dl_opt l)) (min_dl_opt r) with
+    | Some m -> m
+    | None -> assert false
+  in
+  Node
+    {
+      l;
+      e;
+      r;
+      height = 1 + max (height l) (height r);
+      size = 1 + size l + size r;
+      sum_vr = e.vr +. sum_vr l +. sum_vr r;
+      min_vr = Float.min e.vr (Float.min (min_vr l) (min_vr r));
+      min_dl;
+      first_unp =
+        pick_unp
+          (pick_unp (if e.unpinned then Some e else None) (first_unp l))
+          (first_unp r);
+    }
+
+(* Standard AVL rebalance: callable when the two sides differ by at most 2
+   (the invariant after a single insert or delete below). *)
+let balance l e r =
+  if height l > height r + 1 then
+    match l with
+    | Node { l = ll; e = le; r = lr; _ } ->
+        if height ll >= height lr then mk ll le (mk lr e r)
+        else (
+          match lr with
+          | Node { l = lrl; e = lre; r = lrr; _ } ->
+              mk (mk ll le lrl) lre (mk lrr e r)
+          | Leaf -> assert false)
+    | Leaf -> assert false
+  else if height r > height l + 1 then
+    match r with
+    | Node { l = rl; e = re; r = rr; _ } ->
+        if height rr >= height rl then mk (mk l e rl) re rr
+        else (
+          match rl with
+          | Node { l = rll; e = rle; r = rlr; _ } ->
+              mk (mk l e rll) rle (mk rlr re rr)
+          | Leaf -> assert false)
+    | Leaf -> assert false
+  else mk l e r
+
+let cmp_key (k1, s1) (k2, s2) = if k1 = k2 then compare s1 s2 else compare k1 k2
+
+let rec insert t e =
+  match t with
+  | Leaf -> mk Leaf e Leaf
+  | Node n ->
+      if cmp_key (e.key, e.seq) (n.e.key, n.e.seq) < 0 then
+        balance (insert n.l e) n.e n.r
+      else balance n.l n.e (insert n.r e)
+
+let rec pop_min = function
+  | Leaf -> assert false
+  | Node { l = Leaf; e; r; _ } -> (e, r)
+  | Node { l; e; r; _ } ->
+      let m, l' = pop_min l in
+      (m, balance l' e r)
+
+let rec delete t ~key ~seq =
+  match t with
+  | Leaf -> Leaf (* absent: removal is a no-op, like the old List.filter *)
+  | Node n ->
+      let c = cmp_key (key, seq) (n.e.key, n.e.seq) in
+      if c < 0 then balance (delete n.l ~key ~seq) n.e n.r
+      else if c > 0 then balance n.l n.e (delete n.r ~key ~seq)
+      else (
+        match (n.l, n.r) with
+        | l, Leaf -> l
+        | l, r ->
+            let m, r' = pop_min r in
+            balance l m r')
+
+let rec leftmost = function
+  | Leaf -> None
+  | Node { l = Leaf; e; _ } -> Some e
+  | Node { l; _ } -> leftmost l
+
+(* Min (deadline, seq) among entries with key <= bound.  Entries with
+   key <= bound form a prefix of the (key, seq) order, so we walk down
+   the spine combining cached subtree minima: O(log n). *)
+let rec min_dl_prefix t ~bound best =
+  match t with
+  | Leaf -> best
+  | Node n ->
+      if n.e.key <= bound then
+        let best = pick_dl best (min_dl_opt n.l) in
+        let best = pick_dl best (Some n.e) in
+        min_dl_prefix n.r ~bound best
+      else min_dl_prefix n.l ~bound best
+
+(* ---- public interface -------------------------------------------------- *)
+
+type t = {
+  mutable root : tree;
+  index : (int, float * int) Hashtbl.t;  (* tid -> (key, seq) *)
+  mutable next_seq : int;
+}
+
+let create () = { root = Leaf; index = Hashtbl.create 16; next_seq = 0 }
+let length t = size t.root
+let is_empty t = t.root = Leaf
+let mem t (kt : Kthread.t) = Hashtbl.mem t.index kt.Kthread.tid
+
+let add t ~key (kt : Kthread.t) =
+  if mem t kt then invalid_arg "Krq.add: kthread already enqueued";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let e =
+    {
+      kt;
+      key;
+      seq;
+      vr = kt.Kthread.vruntime;
+      dl = kt.Kthread.deadline;
+      unpinned = kt.Kthread.affinity = None;
+    }
+  in
+  t.root <- insert t.root e;
+  Hashtbl.replace t.index kt.Kthread.tid (key, seq)
+
+let remove t (kt : Kthread.t) =
+  match Hashtbl.find_opt t.index kt.Kthread.tid with
+  | None -> ()
+  | Some (key, seq) ->
+      t.root <- delete t.root ~key ~seq;
+      Hashtbl.remove t.index kt.Kthread.tid
+
+let min_key t = match leftmost t.root with None -> None | Some e -> Some e.kt
+let min_vruntime t = min_vr t.root
+let sum_vruntime t = sum_vr t.root
+
+let min_deadline t =
+  match min_dl_opt t.root with None -> None | Some e -> Some e.kt
+
+let min_deadline_eligible t ~bound =
+  match min_dl_prefix t.root ~bound None with
+  | None -> None
+  | Some e -> Some e.kt
+
+let has_unpinned t = first_unp t.root <> None
+
+let first_unpinned t =
+  match first_unp t.root with None -> None | Some e -> Some e.kt
+
+let to_list t =
+  let rec go acc = function
+    | Leaf -> acc
+    | Node { l; e; r; _ } -> go (e.kt :: go acc r) l
+  in
+  go [] t.root

@@ -56,9 +56,3 @@ let state_name = function
   | Exited -> "exited"
 
 let pp ppf t = Format.fprintf ppf "%s[%d] %s" t.name t.tid (state_name t.state)
-
-let tid_counter = ref 0
-
-let fresh_tid () =
-  incr tid_counter;
-  !tid_counter

@@ -43,8 +43,9 @@ type t = {
 }
 
 val create : tid:int -> name:string -> ?affinity:int -> ?weight:int -> Coro.t -> t
+(** Tids are allocated per scheduler instance ({!Kmod}, {!Linux}) — there
+    is no process-wide counter, so concurrent simulations in different
+    domains cannot perturb each other's tids. *)
+
 val is_runnable : t -> bool
 val pp : Format.formatter -> t -> unit
-
-val fresh_tid : unit -> int
-(** Process-wide tid allocator (monotonic, never reused). *)

@@ -45,7 +45,7 @@ let eevdf_tuned = Eevdf { hz = 1000; base_slice = Time.of_us_float 12.5 }
 type cpu = {
   idx : int;  (* machine core id *)
   mutable curr : Kthread.t option;
-  mutable rq : Kthread.t list;  (* Ready threads; order is policy-managed *)
+  rq : Krq.t;  (* Ready threads, indexed by the policy sort key *)
   mutable min_vruntime : float;
   mutable last_update : Time.t;
   mutable completion : Eventq.handle option;
@@ -60,6 +60,7 @@ type t = {
   wakeups : Histogram.t;
   mutable switches : int;
   mutable alive : int;
+  mutable next_tid : int;  (* per-instance tid allocator: no global state *)
 }
 
 let now t = Engine.now t.engine
@@ -75,7 +76,7 @@ let create machine policy ~cores =
            {
              idx;
              curr = None;
-             rq = [];
+             rq = Krq.create ();
              min_vruntime = 0.0;
              last_update = 0;
              completion = None;
@@ -92,6 +93,7 @@ let create machine policy ~cores =
       wakeups = Histogram.create ();
       switches = 0;
       alive = 0;
+      next_tid = 1;
     }
   in
   Array.iter (fun c -> Hashtbl.replace t.by_core c.idx c) cpus;
@@ -107,9 +109,7 @@ let update_curr t cpu =
       kt.Kthread.vruntime <- kt.Kthread.vruntime +. (delta *. 1024.0 /. float_of_int kt.Kthread.weight)
   | _ -> ());
   cpu.last_update <- n;
-  let leftmost =
-    List.fold_left (fun acc (kt : Kthread.t) -> Float.min acc kt.vruntime) infinity cpu.rq
-  in
+  let leftmost = Krq.min_vruntime cpu.rq in
   let floor_v =
     match cpu.curr with
     | Some kt -> Float.min kt.Kthread.vruntime leftmost
@@ -118,16 +118,14 @@ let update_curr t cpu =
   if floor_v < infinity then cpu.min_vruntime <- Float.max cpu.min_vruntime floor_v
 
 let avg_vruntime cpu =
-  let sum, n =
-    List.fold_left
-      (fun (s, n) (kt : Kthread.t) -> (s +. kt.vruntime, n + 1))
-      ( (match cpu.curr with Some kt -> kt.Kthread.vruntime | None -> 0.0),
-        match cpu.curr with Some _ -> 1 | None -> 0 )
-      cpu.rq
+  let s0, n0 =
+    match cpu.curr with Some kt -> (kt.Kthread.vruntime, 1) | None -> (0.0, 0)
   in
+  let sum = s0 +. Krq.sum_vruntime cpu.rq in
+  let n = n0 + Krq.length cpu.rq in
   if n = 0 then cpu.min_vruntime else sum /. float_of_int n
 
-let nr_on cpu = List.length cpu.rq + match cpu.curr with Some _ -> 1 | None -> 0
+let nr_on cpu = Krq.length cpu.rq + match cpu.curr with Some _ -> 1 | None -> 0
 
 (* ---- enqueue / pick --------------------------------------------------- *)
 
@@ -139,38 +137,29 @@ let enqueue t cpu (kt : Kthread.t) =
       kt.deadline <- kt.deadline -. src.min_vruntime +. cpu.min_vruntime
   | _ -> ());
   kt.last_core <- cpu.idx;
-  cpu.rq <- cpu.rq @ [ kt ]
+  (* RR keys everything at 0.0, so the (key, seq) order is plain FIFO. *)
+  let key = match t.policy with Rr _ -> 0.0 | Cfs _ | Eevdf _ -> kt.vruntime in
+  Krq.add cpu.rq ~key kt
 
-let take_from_rq cpu kt = cpu.rq <- List.filter (fun k -> k != kt) cpu.rq
+let take_from_rq cpu kt = Krq.remove cpu.rq kt
 
 let pick_next t cpu =
   match t.policy with
-  | Rr _ -> ( match cpu.rq with [] -> None | kt :: _ -> Some kt)
-  | Cfs _ ->
-      List.fold_left
-        (fun best (kt : Kthread.t) ->
-          match best with
-          | None -> Some kt
-          | Some (b : Kthread.t) -> if kt.vruntime < b.vruntime then Some kt else best)
-        None cpu.rq
+  | Rr _ | Cfs _ -> Krq.min_key cpu.rq
   | Eevdf _ ->
-      let avg = avg_vruntime cpu in
-      let eligible = List.filter (fun (kt : Kthread.t) -> kt.vruntime <= avg) cpu.rq in
-      let candidates = if eligible = [] then cpu.rq else eligible in
-      List.fold_left
-        (fun best (kt : Kthread.t) ->
-          match best with
-          | None -> Some kt
-          | Some (b : Kthread.t) -> if kt.deadline < b.deadline then Some kt else best)
-        None candidates
+      if Krq.is_empty cpu.rq then None
+      else (
+        let avg = avg_vruntime cpu in
+        match Krq.min_deadline_eligible cpu.rq ~bound:avg with
+        | Some kt -> Some kt
+        | None -> Krq.min_deadline cpu.rq)
 
 (* Idle balance: pull one unpinned Ready thread from the busiest runqueue. *)
 let steal t cpu =
   let best = ref None in
   Array.iter
     (fun other ->
-      if other != cpu && List.exists (fun (k : Kthread.t) -> k.affinity = None) other.rq
-      then
+      if other != cpu && Krq.has_unpinned other.rq then
         match !best with
         | Some b when nr_on b >= nr_on other -> ()
         | _ -> best := Some other)
@@ -178,7 +167,7 @@ let steal t cpu =
   match !best with
   | None -> None
   | Some src -> (
-      match List.find_opt (fun (k : Kthread.t) -> k.affinity = None) src.rq with
+      match Krq.first_unpinned src.rq with
       | None -> None
       | Some kt ->
           take_from_rq src kt;
@@ -328,7 +317,7 @@ let on_tick t cpu =
   match cpu.curr with
   | None -> ()
   | Some kt -> (
-      if cpu.rq <> [] then
+      if not (Krq.is_empty cpu.rq) then
         match t.policy with
         | Cfs { min_granularity; sched_latency; _ } ->
             let slice =
@@ -443,7 +432,9 @@ let wakeup t (kt : Kthread.t) =
   | Kthread.Suspended | Kthread.Exited -> ()
 
 let spawn t ~name ?affinity ?weight body =
-  let kt = Kthread.create ~tid:(Kthread.fresh_tid ()) ~name ?affinity ?weight body in
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let kt = Kthread.create ~tid ~name ?affinity ?weight body in
   t.alive <- t.alive + 1;
   let cpu = select_cpu t kt in
   kt.vruntime <- cpu.min_vruntime;

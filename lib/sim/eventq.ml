@@ -1,4 +1,12 @@
-type handle = { mutable cancelled : bool }
+(* A handle carries a pointer to its queue's cancelled-in-heap counter so
+   [cancel] — which has no queue argument — can keep [size] O(1): the
+   count of cancelled entries still sitting in the heap is maintained
+   live instead of recomputed by an O(n) scan. *)
+type handle = {
+  mutable cancelled : bool;
+  mutable in_heap : bool;
+  cancelled_in_heap : int ref;  (* shared with the owning queue *)
+}
 
 type 'a entry = { time : Time.t; seq : int; payload : 'a; handle : handle }
 
@@ -6,9 +14,11 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable len : int;
   mutable next_seq : int;
+  cancelled_in_heap : int ref;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create () =
+  { heap = [||]; len = 0; next_seq = 0; cancelled_in_heap = ref 0 }
 
 let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -45,7 +55,9 @@ let rec sift_down t i =
 
 let schedule t ~at payload =
   if at < 0 then invalid_arg "Eventq.schedule: negative time";
-  let handle = { cancelled = false } in
+  let handle =
+    { cancelled = false; in_heap = true; cancelled_in_heap = t.cancelled_in_heap }
+  in
   let entry = { time = at; seq = t.next_seq; payload; handle } in
   t.next_seq <- t.next_seq + 1;
   if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
@@ -55,7 +67,12 @@ let schedule t ~at payload =
   sift_up t (t.len - 1);
   handle
 
-let cancel handle = handle.cancelled <- true
+let cancel handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    if handle.in_heap then incr handle.cancelled_in_heap
+  end
+
 let is_cancelled handle = handle.cancelled
 
 let pop_raw t =
@@ -67,6 +84,8 @@ let pop_raw t =
       t.heap.(0) <- t.heap.(t.len);
       sift_down t 0
     end;
+    top.handle.in_heap <- false;
+    if top.handle.cancelled then decr t.cancelled_in_heap;
     Some top
   end
 
@@ -85,12 +104,7 @@ let rec peek_time t =
   end
   else Some t.heap.(0).time
 
-(* Lazy cancellation: count only non-cancelled entries. *)
-let size t =
-  let cancelled_in_heap = ref 0 in
-  for i = 0 to t.len - 1 do
-    if t.heap.(i).handle.cancelled then incr cancelled_in_heap
-  done;
-  t.len - !cancelled_in_heap
-
+(* Lazy cancellation: live entries = stored entries minus the cancelled
+   ones still in the heap, both tracked incrementally.  O(1). *)
+let size t = t.len - !(t.cancelled_in_heap)
 let is_empty t = size t = 0

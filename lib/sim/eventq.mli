@@ -29,6 +29,9 @@ val peek_time : 'a t -> Time.t option
 (** Time of the earliest live event without removing it. *)
 
 val size : 'a t -> int
-(** Number of live (non-cancelled, not yet fired) events. *)
+(** Number of live (non-cancelled, not yet fired) events.  O(1): the
+    count of cancelled-but-still-heaped entries is tracked incrementally
+    rather than recomputed by scanning the heap. *)
 
 val is_empty : 'a t -> bool
+(** O(1). *)

@@ -19,12 +19,16 @@ let create () =
 
 let record_request t ~arrival ~completion ~service =
   if completion < arrival then invalid_arg "Summary.record_request: completion < arrival";
-  if service <= 0 then invalid_arg "Summary.record_request: service must be positive";
+  if service < 0 then invalid_arg "Summary.record_request: negative service";
   let response = completion - arrival in
   t.requests <- t.requests + 1;
   Histogram.record t.latency response;
-  let slowdown_x1000 = response * 1000 / service in
-  Histogram.record t.slowdown (max 1000 slowdown_x1000)
+  (* Slowdown is undefined for zero-service requests; they still count
+     towards [requests] so completion reconciliation holds. *)
+  if service > 0 then begin
+    let slowdown_x1000 = response * 1000 / service in
+    Histogram.record t.slowdown (max 1000 slowdown_x1000)
+  end
 
 let record_wakeup t v = Histogram.record t.wakeup v
 let record_drop t = t.drops <- t.drops + 1

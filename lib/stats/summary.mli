@@ -14,8 +14,10 @@ val create : unit -> t
 
 val record_request :
   t -> arrival:Time.t -> completion:Time.t -> service:Time.t -> unit
-(** Record one finished request.  [completion >= arrival] and [service > 0]
-    are required. *)
+(** Record one finished request.  [completion >= arrival] and
+    [service >= 0] are required; zero-service requests count towards
+    [requests] (and the latency histogram) but record no slowdown
+    sample, since slowdown is undefined at zero service. *)
 
 val record_wakeup : t -> Time.t -> unit
 (** Record a wakeup-latency sample (schbench-style). *)

@@ -22,7 +22,12 @@ let check = Alcotest.check
 
 (* ---- Runqueue ---- *)
 
-let mk_task name = Task.create ~app:1 ~name Coro.Exit
+(* Task ids are allocated per run by Runtime_core; tests mint their own. *)
+let next_id = ref 0
+
+let mk_task name =
+  incr next_id;
+  Task.create ~id:!next_id ~app:1 ~name Coro.Exit
 
 let test_runqueue_fifo () =
   let q = Runqueue.create () in

@@ -30,7 +30,7 @@ let test_hybrid_trace_byte_identical () =
     (String.equal json1 json2)
 
 let test_sweep_point_reproducible () =
-  let config = { E.Config.duration = Time.ms 5; seed = 11 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 11; jobs = 1 } in
   List.iter
     (fun runtime ->
       let p1 = E.Fault_sweep.run_point config ~runtime ~rate:0.05 in
@@ -44,7 +44,7 @@ let test_sweep_point_reproducible () =
 let test_sweep_fault_free_reproducible () =
   (* rate 0 arms nothing: the fault machinery present but disabled must
      still be a pure function of the seed (no hidden RNG draws). *)
-  let config = { E.Config.duration = Time.ms 5; seed = 3 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 3; jobs = 1 } in
   let p1 = E.Fault_sweep.run_point config ~runtime:("percpu", E.Fault_sweep.Percore) ~rate:0.0 in
   let p2 = E.Fault_sweep.run_point config ~runtime:("percpu", E.Fault_sweep.Percore) ~rate:0.0 in
   check bool "fault-free runs identical" true (p1 = p2);
@@ -54,7 +54,7 @@ let test_obs_registry_transparent () =
   (* Attaching the metrics registry (and snapshotting it) must not perturb
      the simulation: the trace-and-attribution fingerprint of a registry-on
      run must equal the registry-off run at the same seed. *)
-  let config = { E.Config.duration = Time.ms 5; seed = 7 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 7; jobs = 1 } in
   List.iter
     (fun runtime ->
       let on_ = E.Obs_report.run_point config ~runtime ~instrumented:true in
@@ -86,8 +86,7 @@ let golden =
     ("obs-report-hybrid", "2b8295ae9d0b0b633242042411c74f0c");
   ]
 
-let test_golden_fingerprints () =
-  let got = E.Golden.fingerprints () in
+let check_golden got =
   check int "every golden entry computed" (List.length golden) (List.length got);
   List.iter
     (fun (name, expected) ->
@@ -95,6 +94,13 @@ let test_golden_fingerprints () =
       | Some actual -> check string name expected actual
       | None -> fail (Printf.sprintf "missing golden entry %s" name))
     golden
+
+let test_golden_fingerprints () = check_golden (E.Golden.fingerprints ())
+
+(* The same goldens computed with the cells fanned across 4 domains: the
+   parallel driver must be invisible in the results, byte for byte. *)
+let test_golden_fingerprints_parallel () =
+  check_golden (E.Golden.fingerprints ~jobs:4 ())
 
 let suite =
   [
@@ -106,4 +112,6 @@ let suite =
     test_case "metrics registry is transparent" `Quick test_obs_registry_transparent;
     test_case "golden fingerprints match the committed values" `Slow
       test_golden_fingerprints;
+    test_case "golden fingerprints identical at -j 4" `Slow
+      test_golden_fingerprints_parallel;
   ]

@@ -362,10 +362,44 @@ let test_allocator_degrades_and_recovers () =
   check bool "Degraded event emitted" true (saw Allocator.Degraded);
   check bool "Recovered event emitted" true (saw Allocator.Recovered)
 
+(* ---- reconciliation with zero-service requests ---- *)
+
+(* Regression: [Runtime_core.admit] recorded a completion's summary and
+   attribution rows only when the declared service was positive, so a
+   degenerate workload of zero-service requests completed without a trace
+   — [requests] stayed 0 against N completions and reconciliation against
+   the spawn counters broke silently. *)
+let test_zero_service_requests_reconcile () =
+  let engine = Engine.create ~seed:5 () in
+  let machine =
+    Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2)
+  in
+  let kmod = Kmod.create machine in
+  let rt =
+    Percpu.create machine kmod ~cores:[ 0; 1 ] (Skyloft_policies.Fifo.create ())
+  in
+  let app = Percpu.create_app rt ~name:"degenerate" in
+  let n = 12 in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.at engine (i * Time.us 10) (fun () ->
+           (* declared service 0, body exits immediately *)
+           ignore (Percpu.spawn rt app ~name:(Printf.sprintf "z%d" i) Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 2) engine;
+  check int "all spawned" n app.App.spawned;
+  check int "all completed" n app.App.completed;
+  check int "every zero-service completion in the summary" n
+    (Summary.requests app.App.summary);
+  check int "every zero-service completion attributed" n
+    (Skyloft_obs.Attribution.requests app.App.attribution);
+  check int "submitted = completed + drops" n
+    (app.App.completed + Summary.drops app.App.summary)
+
 (* ---- fault sweep: reconciliation — no task silently lost ---- *)
 
 let test_fault_sweep_zero_lost () =
-  let config = { E.Config.duration = Time.ms 5; seed = 7 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 7; jobs = 1 } in
   List.iter
     (fun runtime ->
       let p = E.Fault_sweep.run_point config ~runtime ~rate:0.05 in
@@ -401,5 +435,7 @@ let suite =
     test_case "centralized: deadline kill" `Quick test_centralized_deadline_kill;
     test_case "allocator: degrade and recover" `Quick
       test_allocator_degrades_and_recovers;
+    test_case "zero-service requests reconcile" `Quick
+      test_zero_service_requests_reconcile;
     test_case "fault-sweep: zero lost tasks" `Slow test_fault_sweep_zero_lost;
   ]

@@ -120,6 +120,41 @@ let test_machine_masking () =
   check (Alcotest.list Alcotest.int) "delivered in arrival order" [ 11; 22 ]
     (List.rev !got)
 
+(* Regression: a handler that re-masks mid-replay must not let vectors
+   raised while re-masked overtake the still-queued older ones.  The
+   handler for 11 re-masks and lets time pass (pumping the engine) until
+   its IPI 44 lands in the pending queue; 22 and 33 were queued before 44
+   existed, so the final delivery order is 11, 22, 33, 44 — the buggy
+   replay pushed the remainder back on top of 44 and delivered 44 ahead
+   of 22 and 33. *)
+let test_machine_unmask_remask_keeps_arrival_order () =
+  let engine, machine = make_machine () in
+  let core = Machine.core machine 2 in
+  let got = ref [] in
+  Machine.set_kernel_handler core (fun v ->
+      got := v :: !got;
+      if v = 11 then begin
+        (* the handler holds the mask while newer work arrives: 44 is
+           queued in [pending] before the replay re-queues 22 and 33 *)
+        Machine.mask_interrupts core;
+        Machine.send_ipi machine ~src:0 ~dst:2 44;
+        Engine.run engine
+      end);
+  Machine.mask_interrupts core;
+  Machine.send_ipi machine ~src:0 ~dst:2 11;
+  Machine.send_ipi machine ~src:0 ~dst:2 22;
+  Machine.send_ipi machine ~src:0 ~dst:2 33;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "nothing while masked" [] !got;
+  (* replay dispatches 11, whose handler re-masks: 22, 33 and the newer
+     44 stay queued *)
+  Machine.unmask_interrupts core;
+  check (Alcotest.list Alcotest.int) "only 11 before the re-mask" [ 11 ]
+    (List.rev !got);
+  Machine.unmask_interrupts core;
+  check (Alcotest.list Alcotest.int) "arrival order preserved across re-mask"
+    [ 11; 22; 33; 44 ] (List.rev !got)
+
 let test_machine_timer_periodic () =
   let engine, machine = make_machine () in
   let core = Machine.core machine 0 in
@@ -132,6 +167,54 @@ let test_machine_timer_periodic () =
   let before = !ticks in
   Engine.run ~until:(Time.ms 20) engine;
   check Alcotest.int "no ticks after stop" before !ticks
+
+(* Regression: a tick the injector delayed past [timer_stop] must not
+   deliver.  The tick at 1ms is held until 1.5ms; the timer stops at
+   1.2ms; the delayed continuation used to fire anyway. *)
+let test_machine_delayed_tick_dies_at_stop () =
+  let engine, machine = make_machine () in
+  let core = Machine.core machine 0 in
+  let ticks = ref 0 in
+  Machine.set_kernel_handler core (fun v -> if v = Vectors.timer then incr ticks);
+  Machine.set_fault_hook machine (fun ~core:_ v ->
+      if v = Vectors.timer then Machine.Delay (Time.us 500) else Machine.Deliver);
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  ignore (Engine.at engine (Time.us 1200) (fun () -> Machine.timer_stop machine ~core:0));
+  Engine.run ~until:(Time.ms 3) engine;
+  check Alcotest.int "delayed tick suppressed after stop" 0 !ticks;
+  (* sanity: without the stop the same delayed train does deliver *)
+  Machine.timer_set_periodic machine ~core:0 ~hz:1000;
+  Engine.run ~until:(Time.ms 6) engine;
+  check Alcotest.bool "delayed ticks deliver while armed" true (!ticks > 0);
+  Machine.timer_stop machine ~core:0
+
+(* Regression: [timer_one_shot] ignored [timer_stop] entirely — both the
+   armed shot and its injector-delayed continuation must die with the
+   generation. *)
+let test_machine_one_shot_dies_at_stop () =
+  let engine, machine = make_machine () in
+  let core = Machine.core machine 1 in
+  let ticks = ref 0 in
+  Machine.set_kernel_handler core (fun v -> if v = Vectors.timer then incr ticks);
+  Machine.timer_one_shot machine ~core:1 ~after:(Time.ms 1);
+  ignore (Engine.at engine (Time.us 500) (fun () -> Machine.timer_stop machine ~core:1));
+  Engine.run ~until:(Time.ms 3) engine;
+  check Alcotest.int "stopped one-shot never fires" 0 !ticks;
+  (* a fresh shot after the stop is live *)
+  Machine.timer_one_shot machine ~core:1 ~after:(Time.ms 1);
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.int "re-armed one-shot fires" 1 !ticks;
+  (* the delayed-continuation path: shot fires at 1ms, injector holds it
+     500us, the stop at 1.2ms lands inside the hold window *)
+  Machine.set_fault_hook machine (fun ~core:_ v ->
+      if v = Vectors.timer then Machine.Delay (Time.us 500) else Machine.Deliver);
+  Machine.timer_one_shot machine ~core:1 ~after:(Time.ms 1);
+  ignore
+    (Engine.at engine
+       (Engine.now engine + Time.us 1200)
+       (fun () -> Machine.timer_stop machine ~core:1));
+  Engine.run ~until:(Engine.now engine + Time.ms 3) engine;
+  check Alcotest.int "delayed one-shot suppressed by stop" 1 !ticks
 
 let test_machine_timer_reprogram () =
   let engine, machine = make_machine () in
@@ -311,7 +394,13 @@ let suite =
     Alcotest.test_case "costs: ns conversions" `Quick test_costs_ns_conversions;
     Alcotest.test_case "machine: kernel IPI delivery" `Quick test_machine_kernel_ipi_delivery;
     Alcotest.test_case "machine: masking" `Quick test_machine_masking;
+    Alcotest.test_case "machine: re-mask during replay keeps arrival order"
+      `Quick test_machine_unmask_remask_keeps_arrival_order;
     Alcotest.test_case "machine: periodic timer" `Quick test_machine_timer_periodic;
+    Alcotest.test_case "machine: delayed tick dies at timer_stop" `Quick
+      test_machine_delayed_tick_dies_at_stop;
+    Alcotest.test_case "machine: one-shot dies at timer_stop" `Quick
+      test_machine_one_shot_dies_at_stop;
     Alcotest.test_case "machine: timer reprogram" `Quick test_machine_timer_reprogram;
     Alcotest.test_case "uintr: senduipi delivers" `Quick test_uintr_senduipi_delivers;
     Alcotest.test_case "uintr: SN suppresses" `Quick test_uintr_sn_suppresses_ipi;

@@ -319,6 +319,169 @@ let test_kmod_timer_enable_sets_sn () =
   Kmod.timer_enable kmod a;
   check Alcotest.bool "SN set" true (Machine.uintr_sn (Kmod.uintr_ctx a))
 
+(* ---- Krq: the indexed runqueue behind the Linux models ---- *)
+
+module Krq = Skyloft_kernel.Krq
+
+let mk_kt ?affinity ?(vruntime = 0.0) ?(deadline = 0.0) tid =
+  let kt = Kthread.create ~tid ~name:(Printf.sprintf "t%d" tid) ?affinity Coro.Exit in
+  kt.Kthread.vruntime <- vruntime;
+  kt.Kthread.deadline <- deadline;
+  kt
+
+let names q = List.map (fun (kt : Kthread.t) -> kt.Kthread.name) (Krq.to_list q)
+let name_of = function Some (kt : Kthread.t) -> kt.Kthread.name | None -> "?"
+
+let test_krq_fifo_under_equal_keys () =
+  (* RR enqueues everything at key 0.0: the order must degenerate to
+     enqueue-order FIFO, exactly like the old list append *)
+  let q = Krq.create () in
+  let kts = List.init 5 mk_kt in
+  List.iter (fun kt -> Krq.add q ~key:0.0 kt) kts;
+  check (Alcotest.list Alcotest.string) "insertion order"
+    [ "t0"; "t1"; "t2"; "t3"; "t4" ] (names q);
+  check Alcotest.string "FIFO head" "t0" (name_of (Krq.min_key q));
+  Krq.remove q (List.nth kts 0);
+  check Alcotest.string "next head" "t1" (name_of (Krq.min_key q));
+  (* a re-enqueued thread goes to the back, not its old position *)
+  Krq.add q ~key:0.0 (List.nth kts 0);
+  check (Alcotest.list Alcotest.string) "requeue at tail"
+    [ "t1"; "t2"; "t3"; "t4"; "t0" ] (names q)
+
+let test_krq_min_key_and_ties () =
+  let q = Krq.create () in
+  let a = mk_kt ~vruntime:5.0 1 in
+  let b = mk_kt ~vruntime:3.0 2 in
+  let c = mk_kt ~vruntime:3.0 3 in
+  List.iter (fun kt -> Krq.add q ~key:kt.Kthread.vruntime kt) [ a; b; c ];
+  check Alcotest.string "smallest vruntime wins" "t2" (name_of (Krq.min_key q));
+  check (Alcotest.float 1e-9) "min vruntime" 3.0 (Krq.min_vruntime q);
+  check (Alcotest.float 1e-9) "sum vruntime" 11.0 (Krq.sum_vruntime q);
+  Krq.remove q b;
+  check Alcotest.string "tie broken by enqueue order" "t3"
+    (name_of (Krq.min_key q))
+
+let test_krq_eevdf_eligible_pick () =
+  let q = Krq.create () in
+  (* eligible = vruntime <= bound; among those, earliest deadline wins *)
+  let a = mk_kt ~vruntime:1.0 ~deadline:9.0 1 in
+  let b = mk_kt ~vruntime:2.0 ~deadline:4.0 2 in
+  let c = mk_kt ~vruntime:8.0 ~deadline:1.0 3 in
+  List.iter (fun kt -> Krq.add q ~key:kt.Kthread.vruntime kt) [ a; b; c ];
+  check Alcotest.string "eligible min-deadline" "t2"
+    (name_of (Krq.min_deadline_eligible q ~bound:5.0));
+  check Alcotest.string "global min-deadline" "t3" (name_of (Krq.min_deadline q));
+  check Alcotest.bool "nobody eligible below the floor" true
+    (Krq.min_deadline_eligible q ~bound:0.5 = None);
+  (* deadline ties break by enqueue order, like the old left fold *)
+  let d = mk_kt ~vruntime:2.0 ~deadline:4.0 4 in
+  Krq.add q ~key:d.Kthread.vruntime d;
+  check Alcotest.string "deadline tie by enqueue order" "t2"
+    (name_of (Krq.min_deadline_eligible q ~bound:5.0))
+
+let test_krq_remove_and_double_add () =
+  let q = Krq.create () in
+  let a = mk_kt 1 and b = mk_kt 2 in
+  Krq.add q ~key:0.0 a;
+  (* removing an absent thread is a no-op, like the old List.filter *)
+  Krq.remove q b;
+  check Alcotest.int "still one" 1 (Krq.length q);
+  check Alcotest.bool "double add rejected" true
+    (try
+       Krq.add q ~key:0.0 a;
+       false
+     with Invalid_argument _ -> true);
+  Krq.remove q a;
+  Krq.remove q a;
+  check Alcotest.bool "empty after remove" true (Krq.is_empty q);
+  check (Alcotest.float 1e-9) "min vruntime of empty" infinity (Krq.min_vruntime q);
+  check Alcotest.bool "no min" true (Krq.min_key q = None)
+
+let test_krq_first_unpinned () =
+  let q = Krq.create () in
+  let a = mk_kt ~affinity:0 ~vruntime:1.0 1 in
+  let b = mk_kt ~vruntime:9.0 2 in
+  let c = mk_kt ~vruntime:2.0 3 in
+  List.iter (fun kt -> Krq.add q ~key:kt.Kthread.vruntime kt) [ a; b; c ];
+  check Alcotest.bool "has unpinned" true (Krq.has_unpinned q);
+  (* the steal victim is the earliest-ENQUEUED unpinned thread, not the
+     one with the smallest key *)
+  check Alcotest.string "earliest-enqueued unpinned" "t2"
+    (name_of (Krq.first_unpinned q));
+  Krq.remove q b;
+  check Alcotest.string "next unpinned" "t3" (name_of (Krq.first_unpinned q));
+  Krq.remove q c;
+  check Alcotest.bool "only pinned left" false (Krq.has_unpinned q);
+  check Alcotest.bool "no victim" true (Krq.first_unpinned q = None)
+
+(* Krq vs the old list semantics under random interleavings: a sorted
+   association list maintained with exactly the pre-Krq folds must agree
+   on every query after every operation. *)
+let prop_krq_matches_list_reference =
+  let op_gen =
+    QCheck.(
+      list_of_size (Gen.int_range 0 200)
+        (triple (int_range 0 2) (int_range 0 30) (int_range 0 100)))
+  in
+  QCheck.Test.make ~name:"krq: agrees with the list reference" ~count:100 op_gen
+    (fun ops ->
+      let q = Krq.create () in
+      (* reference: (key, seq, kt) list in enqueue order *)
+      let reference = ref [] in
+      let seq = ref 0 in
+      let by_tid = Hashtbl.create 16 in
+      let ok = ref true in
+      let ref_min_key () =
+        match
+          List.stable_sort
+            (fun (k1, s1, _) (k2, s2, _) -> compare (k1, s1) (k2, s2))
+            !reference
+        with
+        | [] -> None
+        | (_, _, kt) :: _ -> Some kt
+      in
+      List.iter
+        (fun (op, tid, key10) ->
+          (match op with
+          | 0 ->
+              if not (Hashtbl.mem by_tid tid) then begin
+                let key = float_of_int key10 /. 10.0 in
+                let kt = mk_kt ~vruntime:key tid in
+                Hashtbl.replace by_tid tid kt;
+                Krq.add q ~key kt;
+                reference := !reference @ [ (key, !seq, kt) ];
+                incr seq
+              end
+          | 1 -> (
+              match Hashtbl.find_opt by_tid tid with
+              | Some kt ->
+                  Hashtbl.remove by_tid tid;
+                  Krq.remove q kt;
+                  reference :=
+                    List.filter (fun (_, _, kt') -> kt' != kt) !reference
+              | None -> Krq.remove q (mk_kt (1000 + tid)))
+          | _ -> (
+              (* pop the min, as pick_next does *)
+              match Krq.min_key q with
+              | Some kt ->
+                  Hashtbl.remove by_tid kt.Kthread.tid;
+                  Krq.remove q kt;
+                  reference :=
+                    List.filter (fun (_, _, kt') -> kt' != kt) !reference
+              | None -> if !reference <> [] then ok := false));
+          let sum = List.fold_left (fun acc (k, _, _) -> acc +. k) 0.0 !reference in
+          let mn =
+            List.fold_left (fun acc (k, _, _) -> Float.min acc k) infinity !reference
+          in
+          if
+            Krq.length q <> List.length !reference
+            || name_of (Krq.min_key q) <> name_of (ref_min_key ())
+            || abs_float (Krq.sum_vruntime q -. sum) > 1e-6
+            || Krq.min_vruntime q <> mn
+          then ok := false)
+        ops;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "linux: run to completion" `Quick test_linux_runs_to_completion;
@@ -349,4 +512,11 @@ let suite =
     Alcotest.test_case "kmod: switch to exited target rejected" `Quick
       test_kmod_switch_to_exited_rejected;
     Alcotest.test_case "kmod: timer enable" `Quick test_kmod_timer_enable_sets_sn;
+    Alcotest.test_case "krq: FIFO under equal keys" `Quick
+      test_krq_fifo_under_equal_keys;
+    Alcotest.test_case "krq: min key and ties" `Quick test_krq_min_key_and_ties;
+    Alcotest.test_case "krq: EEVDF eligible pick" `Quick test_krq_eevdf_eligible_pick;
+    Alcotest.test_case "krq: remove/double-add" `Quick test_krq_remove_and_double_add;
+    Alcotest.test_case "krq: first unpinned" `Quick test_krq_first_unpinned;
+    QCheck_alcotest.to_alcotest prop_krq_matches_list_reference;
   ]

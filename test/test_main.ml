@@ -16,6 +16,7 @@ let () =
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("determinism", Test_determinism.suite);
+      ("parallel", Test_parallel.suite);
       ("sync", Test_sync.suite);
       ("properties", Test_properties.suite);
       ("trace", Test_trace.suite);

@@ -221,7 +221,6 @@ let test_analysis_counter_tracks () =
 (* ---- end to end: a traced per-CPU run must satisfy everything ---- *)
 
 let test_end_to_end_percpu () =
-  App.reset_ids ();
   let engine = Engine.create ~seed:7 () in
   let machine = Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:2) in
   let kmod = Kmod.create machine in

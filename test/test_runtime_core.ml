@@ -54,7 +54,6 @@ let kick_all st = Array.iter (fun ex -> reschedule st ex ~prev:None) st.execs
 (* Every queue lives at cpu 0 so a FIFO policy behaves as one shared
    queue regardless of how many units the stub has. *)
 let make ?(units = 1) () =
-  App.reset_ids ();
   let engine = Engine.create () in
   let machine =
     Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4)
@@ -259,7 +258,7 @@ let test_be_occupancy () =
     (Invalid_argument "stub: BE app already set") (fun () ->
       Rc.spawn_be_workers st.rc be ~chunk:(Time.us 10) ~workers:1 ~who:"stub");
   (* an app from some other runtime's table is refused *)
-  let foreign = App.create ~name:"foreign" in
+  let foreign = App.create ~id:999 ~name:"foreign" in
   let st2 = make () in
   check_raises "foreign app rejected"
     (Invalid_argument "stub: app not created by this runtime") (fun () ->

@@ -198,6 +198,79 @@ let test_eventq_peek () =
   Eventq.cancel h;
   check (Alcotest.option Alcotest.int) "peek skips cancelled" (Some 9) (Eventq.peek_time q)
 
+(* Regression for the O(1) size counter: double-cancel, cancel after the
+   event fired, and cancel after pop must each leave the live count
+   exact — the counter-based size must never drift from the truth. *)
+let test_eventq_size_counter_exact () =
+  let q = Eventq.create () in
+  let h1 = Eventq.schedule q ~at:1 "a" in
+  let h2 = Eventq.schedule q ~at:2 "b" in
+  ignore (Eventq.schedule q ~at:3 "c");
+  check Alcotest.int "three live" 3 (Eventq.size q);
+  Eventq.cancel h1;
+  Eventq.cancel h1;
+  check Alcotest.int "double cancel counts once" 2 (Eventq.size q);
+  ignore (Eventq.pop q);
+  check Alcotest.int "pop of live event" 1 (Eventq.size q);
+  (* h2 already left the heap via the pop above (the cancelled h1 was
+     skipped); cancelling it now must not decrement anything *)
+  Eventq.cancel h2;
+  check Alcotest.int "cancel after pop is a no-op" 1 (Eventq.size q);
+  check Alcotest.bool "not empty" false (Eventq.is_empty q);
+  ignore (Eventq.pop q);
+  check Alcotest.int "drained" 0 (Eventq.size q);
+  check Alcotest.bool "empty" true (Eventq.is_empty q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+    "pop on empty" None (Eventq.pop q);
+  check Alcotest.int "size stays 0" 0 (Eventq.size q)
+
+(* The counter vs the ground truth under random schedule/cancel/pop
+   interleavings: replay the same operations against a reference count. *)
+let prop_eventq_size_matches_reference =
+  let op_gen =
+    QCheck.(
+      list_of_size (Gen.int_range 0 300)
+        (pair (int_range 0 2) (int_range 0 10_000)))
+  in
+  QCheck.Test.make ~name:"Eventq size is exact under random ops" ~count:100
+    op_gen (fun ops ->
+      let q = Eventq.create () in
+      (* independent reference: payload ids of events neither popped nor
+         cancelled — exactly the live set [size] claims to count *)
+      let live = Hashtbl.create 64 in
+      let handles = ref [] in
+      let n_handles = ref 0 in
+      let fresh = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, x) ->
+          (match op with
+          | 0 ->
+              let id = !fresh in
+              incr fresh;
+              let h = Eventq.schedule q ~at:x id in
+              handles := (h, id) :: !handles;
+              incr n_handles;
+              Hashtbl.replace live id ()
+          | 1 ->
+              if !n_handles > 0 then begin
+                let h, id = List.nth !handles (x mod !n_handles) in
+                Eventq.cancel h;
+                (* absent when already popped or already cancelled: in
+                   both cases the live set must not shrink again *)
+                Hashtbl.remove live id
+              end
+          | _ -> (
+              match Eventq.pop q with
+              | Some (_, id) -> Hashtbl.remove live id
+              | None -> if Hashtbl.length live <> 0 then ok := false));
+          if
+            Eventq.size q <> Hashtbl.length live
+            || Eventq.is_empty q <> (Hashtbl.length live = 0)
+          then ok := false)
+        ops;
+      !ok)
+
 let prop_eventq_sorted =
   QCheck.Test.make ~name:"Eventq pops in nondecreasing time order" ~count:100
     QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 100_000))
@@ -383,6 +456,9 @@ let suite =
     Alcotest.test_case "eventq: cancel" `Quick test_eventq_cancel;
     Alcotest.test_case "eventq: peek" `Quick test_eventq_peek;
     Alcotest.test_case "eventq: negative time" `Quick test_eventq_negative_time;
+    Alcotest.test_case "eventq: size counter exact" `Quick
+      test_eventq_size_counter_exact;
+    qtest prop_eventq_size_matches_reference;
     qtest prop_eventq_sorted;
     Alcotest.test_case "engine: ordering" `Quick test_engine_ordering;
     Alcotest.test_case "engine: until" `Quick test_engine_until;

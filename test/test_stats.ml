@@ -144,11 +144,15 @@ let test_summary_invalid () =
        Summary.record_request s ~arrival:10 ~completion:5 ~service:1;
        false
      with Invalid_argument _ -> true);
-  check Alcotest.bool "zero service raises" true
+  check Alcotest.bool "negative service raises" true
     (try
-       Summary.record_request s ~arrival:0 ~completion:5 ~service:0;
+       Summary.record_request s ~arrival:0 ~completion:5 ~service:(-1);
        false
-     with Invalid_argument _ -> true)
+     with Invalid_argument _ -> true);
+  (* zero service is legal: the request still has a latency, it just
+     contributes no slowdown sample (slowdown would divide by zero) *)
+  Summary.record_request s ~arrival:0 ~completion:5 ~service:0;
+  check Alcotest.int "zero-service request counted" 1 (Summary.requests s)
 
 let test_timeseries_empty_mean () =
   let module Timeseries = Skyloft_stats.Timeseries in
