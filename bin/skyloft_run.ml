@@ -37,16 +37,25 @@ let config_term =
              independent fixed-seed simulation, so parallelism only \
              changes wall-clock time.")
   in
-  let build quick full duration_ms seed jobs =
+  let requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Requests per cell for request-driven experiments (scale).  \
+             Overrides the quick/default/full tier (150k/1M/10M).")
+  in
+  let build quick full duration_ms seed jobs requests =
     let base =
       if quick then E.Config.quick else if full then E.Config.full else E.Config.default
     in
     let duration =
       match duration_ms with Some ms -> Time.ms ms | None -> base.E.Config.duration
     in
-    { E.Config.duration; seed; jobs = max 1 jobs }
+    { E.Config.duration; seed; jobs = max 1 jobs; requests }
   in
-  Term.(const build $ quick $ full $ duration_ms $ seed $ jobs)
+  Term.(const build $ quick $ full $ duration_ms $ seed $ jobs $ requests)
 
 let experiments : (string * string * (E.Config.t -> unit)) list =
   [
@@ -89,6 +98,9 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
     ( "hybrid",
       "hybrid runtime vs both parents (ablation A5 only)",
       fun c -> ignore (E.Ablations.a5_hybrid_vs_parents c) );
+    ( "scale",
+      "scenario DSL x runtime sweep at millions of requests per cell",
+      fun c -> ignore (E.Scale.print c) );
     ( "golden",
       "print the determinism golden fingerprints (fixed seeds)",
       fun c -> E.Golden.print c );

@@ -4,12 +4,15 @@ module Time = Skyloft_sim.Time
 
     [duration] is virtual seconds simulated per data point; the default
     trades a little percentile resolution for bench wall-clock time.
-    Everything is deterministic given [seed]: [jobs] only fans sweep
-    cells across domains (via {!Parallel.map}) and never changes
-    results. *)
+    [requests] overrides the per-cell request count for the experiments
+    that are request-driven rather than duration-driven (the [scale]
+    sweep; [None] lets the experiment derive a count from the
+    quick/default/full tier).  Everything is deterministic given [seed]:
+    [jobs] only fans sweep cells across domains (via {!Parallel.map})
+    and never changes results. *)
 
-type t = { duration : Time.t; seed : int; jobs : int }
+type t = { duration : Time.t; seed : int; jobs : int; requests : int option }
 
-let default = { duration = Time.ms 300; seed = 42; jobs = 1 }
-let quick = { duration = Time.ms 80; seed = 42; jobs = 1 }
-let full = { duration = Time.s 1; seed = 42; jobs = 1 }
+let default = { duration = Time.ms 300; seed = 42; jobs = 1; requests = None }
+let quick = { duration = Time.ms 80; seed = 42; jobs = 1; requests = None }
+let full = { duration = Time.s 1; seed = 42; jobs = 1; requests = None }

@@ -159,9 +159,19 @@ let digest s = Digest.to_hex (Digest.string s)
 (* Fixed seeds and durations: golden values must not depend on the CLI
    config, only on the code. *)
 let trace_seed = 1234
-let sweep_config = { Config.duration = Time.ms 5; seed = 11; jobs = 1 }
+let sweep_config =
+  { Config.duration = Time.ms 5; seed = 11; jobs = 1; requests = None }
+
 let sweep_rate = 0.05
-let obs_config = { Config.duration = Time.ms 5; seed = 7; jobs = 1 }
+
+let obs_config =
+  { Config.duration = Time.ms 5; seed = 7; jobs = 1; requests = None }
+
+(* Scale cells run tiny compared to the real sweep (30k requests) but
+   through the identical compile-and-run path; the digest covers every
+   count, histogram summary and allocator total in the cell. *)
+let scale_seed = 5
+let scale_requests = 30_000
 
 (* Every golden is one independent cell; [jobs] fans them across domains.
    The values must be identical at any [jobs] — that invariance, checked
@@ -194,6 +204,19 @@ let fingerprints ?(jobs = 1) () =
               (Obs_report.run_point obs_config ~runtime ~instrumented:false)
                 .Obs_report.fingerprint ))
         Obs_report.runtimes
+    @ List.concat_map
+        (fun scenario ->
+          List.map
+            (fun runtime ->
+              ( Printf.sprintf "scale-%s-%s" scenario.Scale.Scenario.name
+                  (Scale.Scenario.runtime_name runtime),
+                fun () ->
+                  digest
+                    (Scale.Scenario.digest_string
+                       (Scale.Scenario.run ~seed:scale_seed
+                          ~requests:scale_requests ~runtime scenario)) ))
+            Scale.runtimes)
+        Scale.scenarios
   in
   Parallel.map ~jobs (fun (name, f) -> (name, f ())) cells
 

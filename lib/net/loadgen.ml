@@ -23,6 +23,19 @@ let poisson engine ~rng ~rate_rps ~service ?start ~duration ?(kind = fun _ -> "r
   in
   arrive (start + max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)))
 
+let stream engine ~next emit =
+  let rec arm ~now =
+    match next ~now with
+    | None -> ()
+    | Some at ->
+        let at = max at now in
+        ignore
+          (Engine.at engine at (fun () ->
+               emit at;
+               arm ~now:at))
+  in
+  arm ~now:(Engine.now engine)
+
 let retrying engine ?(budget = 3) ?(backoff = Time.us 100) ~attempt give_up =
   if budget < 1 then invalid_arg "Loadgen.retrying: budget must be >= 1";
   if backoff < 0 then invalid_arg "Loadgen.retrying: backoff must be >= 0";

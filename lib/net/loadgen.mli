@@ -22,6 +22,20 @@ val poisson :
     [service], a random flow id, and a kind from [kind] (default "req"),
     then is passed to the sink at its arrival time. *)
 
+val stream :
+  Engine.t ->
+  next:(now:Time.t -> Time.t option) ->
+  (Time.t -> unit) ->
+  unit
+(** Generalized open-loop driver: [next ~now] returns the absolute virtual
+    time of the next arrival ([None] ends the stream; times in the past
+    are clamped to [now]), and the sink runs at each arrival time with
+    that time.  [next] is consulted once per arrival, after the sink —
+    exactly one arrival is in flight at a time, so a stream holds O(1)
+    event-queue space regardless of how many arrivals it will emit.
+    {!Skyloft_scenario.Arrival} compiles its declarative arrival processes
+    (Poisson, MMPP on/off, diurnal curves) into [next] functions. *)
+
 val retrying :
   Engine.t ->
   ?budget:int ->

@@ -1,0 +1,133 @@
+module Time = Skyloft_sim.Time
+module Rng = Skyloft_sim.Rng
+
+type t =
+  | Poisson of { rate_rps : float }
+  | Mmpp of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : Time.t;
+      mean_off : Time.t;
+    }
+  | Diurnal of { segments : (Time.t * float) list }
+
+let validate = function
+  | Poisson { rate_rps } ->
+      if rate_rps <= 0.0 then invalid_arg "Arrival: Poisson rate must be positive"
+  | Mmpp { rate_on; rate_off; mean_on; mean_off } ->
+      if rate_on < 0.0 || rate_off < 0.0 then
+        invalid_arg "Arrival: MMPP rates must be non-negative";
+      if rate_on <= 0.0 && rate_off <= 0.0 then
+        invalid_arg "Arrival: MMPP needs a positive rate in at least one phase";
+      if mean_on <= 0 || mean_off <= 0 then
+        invalid_arg "Arrival: MMPP phase sojourns must be positive"
+  | Diurnal { segments } ->
+      if segments = [] then invalid_arg "Arrival: Diurnal needs segments";
+      List.iter
+        (fun (dur, rate) ->
+          if dur <= 0 then invalid_arg "Arrival: Diurnal segment durations must be positive";
+          if rate < 0.0 then invalid_arg "Arrival: Diurnal rates must be non-negative")
+        segments;
+      if not (List.exists (fun (_, rate) -> rate > 0.0) segments) then
+        invalid_arg "Arrival: Diurnal needs a positive rate in at least one segment"
+
+let mean_rate = function
+  | Poisson { rate_rps } -> rate_rps
+  | Mmpp { rate_on; rate_off; mean_on; mean_off } ->
+      let on = float_of_int mean_on and off = float_of_int mean_off in
+      ((rate_on *. on) +. (rate_off *. off)) /. (on +. off)
+  | Diurnal { segments } ->
+      let weighted, span =
+        List.fold_left
+          (fun (w, s) (dur, rate) ->
+            (w +. (rate *. float_of_int dur), s +. float_of_int dur))
+          (0.0, 0.0) segments
+      in
+      weighted /. span
+
+(* One exponential gap in ns at [rate_rps]; at least 1 ns so virtual time
+   always advances. *)
+let exp_gap rng ~rate_rps =
+  max 1 (int_of_float (Rng.exponential rng ~mean:(1e9 /. rate_rps)))
+
+(* Piecewise-constant-rate sampling, shared by MMPP and Diurnal: walk the
+   phase timeline from [now]; in each phase draw an exponential gap at the
+   phase's rate and accept it if it lands before the phase ends, otherwise
+   advance to the phase boundary and redraw (memorylessness makes the
+   redraw exact, not an approximation). *)
+let piecewise_sampler ~rng ~advance =
+  (* [phase_end] is absolute; [rate] the current phase's rate.  [advance]
+     rolls the mutable phase state forward and returns (rate, phase_end)
+     for the phase starting at the given time. *)
+  let state = ref None in
+  fun ~now ->
+    let rec go t =
+      let rate, phase_end =
+        match !state with
+        | Some (rate, phase_end) when phase_end > t -> (rate, phase_end)
+        | _ ->
+            let next = advance ~at:t in
+            state := Some next;
+            next
+      in
+      if rate <= 0.0 then begin
+        state := None;
+        go phase_end
+      end
+      else begin
+        let gap = exp_gap rng ~rate_rps:rate in
+        if t + gap <= phase_end then Some (t + gap)
+        else begin
+          state := None;
+          go phase_end
+        end
+      end
+    in
+    go now
+
+let sampler t rng =
+  validate t;
+  match t with
+  | Poisson { rate_rps } -> fun ~now -> Some (now + exp_gap rng ~rate_rps)
+  | Mmpp { rate_on; rate_off; mean_on; mean_off } ->
+      let on = ref true in
+      (* The stream starts in the on phase; each [advance] call enters the
+         phase in force at [at] and draws its sojourn. *)
+      let first = ref true in
+      piecewise_sampler ~rng ~advance:(fun ~at ->
+          if !first then first := false else on := not !on;
+          let rate = if !on then rate_on else rate_off in
+          let mean = if !on then mean_on else mean_off in
+          let sojourn =
+            max 1 (int_of_float (Rng.exponential rng ~mean:(float_of_int mean)))
+          in
+          (rate, at + sojourn))
+  | Diurnal { segments } ->
+      let segs = Array.of_list segments in
+      let idx = ref (-1) in
+      piecewise_sampler ~rng ~advance:(fun ~at ->
+          idx := (!idx + 1) mod Array.length segs;
+          let dur, rate = segs.(!idx) in
+          (rate, at + dur))
+
+let rotate n = function
+  | [] -> []
+  | segments ->
+      let len = List.length segments in
+      let k = ((n mod len) + len) mod len in
+      let rec split i acc = function
+        | rest when i = k -> rest @ List.rev acc
+        | x :: rest -> split (i + 1) (x :: acc) rest
+        | [] -> assert false
+      in
+      split 0 [] segments
+
+let pp ppf = function
+  | Poisson { rate_rps } -> Format.fprintf ppf "poisson(%.0f rps)" rate_rps
+  | Mmpp { rate_on; rate_off; mean_on; mean_off } ->
+      Format.fprintf ppf "mmpp(on=%.0f rps/%a, off=%.0f rps/%a)" rate_on Time.pp
+        mean_on rate_off Time.pp mean_off
+  | Diurnal { segments } ->
+      Format.fprintf ppf "diurnal(%d segments, mean=%.0f rps)"
+        (List.length segments)
+        (mean_rate (Diurnal { segments }))

@@ -1,0 +1,420 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Rng = Skyloft_sim.Rng
+module Coro = Skyloft_sim.Coro
+module Dist = Skyloft_sim.Dist
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module Histogram = Skyloft_stats.Histogram
+module App = Skyloft.App
+module Allocator = Skyloft_alloc.Allocator
+module Alloc_policy = Skyloft_alloc.Policy
+module Loadgen = Skyloft_net.Loadgen
+
+type bounds = { guaranteed : int; burstable : int option }
+type lc_spec = { lc_name : string; shape : Shape.t; arrival : Arrival.t }
+
+type be_spec = {
+  be_name : string;
+  chunk : Time.t;
+  workers : int option;  (* default: one per worker core *)
+  bounds : bounds;
+}
+
+type tenant = Lc of lc_spec | Be of be_spec
+
+type t = {
+  name : string;
+  cores : int;
+  timer_hz : int;
+  quantum : Time.t;
+  tenants : tenant list;
+}
+
+let lc ~name ~shape ~arrival = Lc { lc_name = name; shape; arrival }
+
+let be ?(chunk = Time.us 50) ?workers ?(guaranteed = 0) ?burstable ~name () =
+  Be { be_name = name; chunk; workers; bounds = { guaranteed; burstable } }
+
+let make ?(timer_hz = 100_000) ?(quantum = Time.us 30) ~name ~cores tenants =
+  { name; cores; timer_hz; quantum; tenants }
+
+let tenant_name = function
+  | Lc { lc_name; _ } -> lc_name
+  | Be { be_name; _ } -> be_name
+
+let validate t =
+  if t.cores < 1 then invalid_arg "Scenario: cores must be >= 1";
+  if t.timer_hz < 1 then invalid_arg "Scenario: timer_hz must be >= 1";
+  if t.quantum < 1 then invalid_arg "Scenario: quantum must be >= 1";
+  let names = List.map tenant_name t.tenants in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Scenario: duplicate tenant names";
+  let lcs, bes =
+    List.partition (function Lc _ -> true | Be _ -> false) t.tenants
+  in
+  if lcs = [] then invalid_arg "Scenario: needs at least one LC tenant";
+  if List.length bes > 1 then
+    invalid_arg
+      "Scenario: at most one BE tenant (the runtimes attach a single \
+       best-effort application to the core allocator)";
+  List.iter
+    (function
+      | Lc { shape; arrival; _ } ->
+          Shape.validate shape;
+          Arrival.validate arrival
+      | Be { workers; chunk; bounds; _ } ->
+          (match workers with
+          | Some w when w < 1 -> invalid_arg "Scenario: BE workers must be >= 1"
+          | _ -> ());
+          if chunk < 1 then invalid_arg "Scenario: BE chunk must be >= 1";
+          if bounds.guaranteed < 0 || bounds.guaranteed > t.cores then
+            invalid_arg "Scenario: BE guaranteed cores out of range";
+          (match bounds.burstable with
+          | Some b when b < bounds.guaranteed || b > t.cores ->
+              invalid_arg "Scenario: BE burstable cores out of range"
+          | _ -> ()))
+    t.tenants
+
+let mean_rate_rps t =
+  List.fold_left
+    (fun acc -> function
+      | Lc { arrival; _ } -> acc +. Arrival.mean_rate arrival
+      | Be _ -> acc)
+    0.0 t.tenants
+
+(* Long-run LC compute demand as a fraction of the worker pool. *)
+let offered_load t =
+  let demand =
+    List.fold_left
+      (fun acc -> function
+        | Lc { arrival; shape; _ } ->
+            acc +. (Arrival.mean_rate arrival *. Shape.mean_service shape /. 1e9)
+        | Be _ -> acc)
+      0.0 t.tenants
+  in
+  demand /. float_of_int t.cores
+
+(* ---- compilation onto the runtimes -------------------------------------- *)
+
+type runtime = Percpu | Centralized | Hybrid
+
+let runtime_name = function
+  | Percpu -> "percpu"
+  | Centralized -> "centralized"
+  | Hybrid -> "hybrid"
+
+let runtimes = [ Percpu; Centralized; Hybrid ]
+
+type tenant_digest = {
+  tenant : string;
+  submitted : int;
+  completed : int;
+  latency : Histogram.t;
+}
+
+type digest = {
+  scenario : string;
+  runtime : string;
+  target : int;
+  submitted : int;
+  completed : int;
+  last_completion : Time.t;
+  tenants : tenant_digest list;
+  be_preemptions : int;
+  alloc_grants : int;
+  alloc_reclaims : int;
+}
+
+(* Merged LC latency across tenants: per-tenant histogram snapshots are
+   mergeable — count-exact and percentile-equal to central recording (the
+   QCheck property in test/test_properties.ml). *)
+let merged_latency d =
+  let all = Histogram.create () in
+  List.iter (fun td -> Histogram.merge_into ~src:td.latency ~dst:all) d.tenants;
+  all
+
+(* Runtime-neutral submission surface: what the compiled scenario needs
+   from a runtime, nothing more. *)
+type iface = {
+  submit : App.t -> name:string -> service:Time.t -> on_done:(unit -> unit) -> unit;
+  create_app : name:string -> App.t;
+  attach_be : App.t -> chunk:Time.t -> workers:int -> unit;
+  be_preemptions : unit -> int;
+  allocator : unit -> Allocator.t option;
+}
+
+(* The delay policy keeps reacting while LC is starved of cores (the
+   utilization signal goes silent there); the BE tenant's declared bounds
+   become the allocator's guaranteed/burstable band. *)
+let alloc_config (bounds : bounds) =
+  {
+    (Allocator.default_config ()) with
+    Allocator.policy = Alloc_policy.delay ();
+    be_guaranteed = bounds.guaranteed;
+    be_burstable = bounds.burstable;
+  }
+
+let make_iface ~machine ~kmod ~runtime ~cores ~timer_hz ~quantum ~be_bounds =
+  match runtime with
+  | Percpu ->
+      let rt =
+        Skyloft.Percpu.create machine kmod ~cores:(List.init cores Fun.id)
+          ~timer_hz
+          (Skyloft_policies.Work_stealing.create ~quantum ())
+      in
+      {
+        submit =
+          (fun app ~name ~service ~on_done ->
+            ignore
+              (Skyloft.Percpu.spawn rt app ~name ~record:false
+                 (Coro.Compute
+                    ( service,
+                      fun () ->
+                        on_done ();
+                        Coro.Exit ))));
+        create_app = (fun ~name -> Skyloft.Percpu.create_app rt ~name);
+        attach_be =
+          (fun app ~chunk ~workers ->
+            let bounds = Option.get be_bounds in
+            Skyloft.Percpu.attach_be_app rt ~alloc:(alloc_config bounds) app
+              ~chunk ~workers);
+        be_preemptions = (fun () -> Skyloft.Percpu.be_preemptions rt);
+        allocator = (fun () -> Skyloft.Percpu.allocator rt);
+      }
+  | Centralized ->
+      let rt =
+        Skyloft.Centralized.create machine kmod ~dispatcher_core:0
+          ~worker_cores:(List.init cores (fun i -> i + 1))
+          ~quantum
+          ?alloc:(Option.map alloc_config be_bounds)
+          (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+      in
+      {
+        submit =
+          (fun app ~name ~service ~on_done ->
+            ignore
+              (Skyloft.Centralized.submit rt app ~record:false ~name
+                 (Coro.Compute
+                    ( service,
+                      fun () ->
+                        on_done ();
+                        Coro.Exit ))));
+        create_app = (fun ~name -> Skyloft.Centralized.create_app rt ~name);
+        attach_be =
+          (fun app ~chunk ~workers ->
+            Skyloft.Centralized.attach_be_app rt app ~chunk ~workers);
+        be_preemptions = (fun () -> Skyloft.Centralized.be_preemptions rt);
+        allocator = (fun () -> Skyloft.Centralized.allocator rt);
+      }
+  | Hybrid ->
+      let rt =
+        Skyloft.Hybrid.create machine kmod ~dispatcher_core:0
+          ~worker_cores:(List.init cores (fun i -> i + 1))
+          ~quantum
+          ?alloc:(Option.map alloc_config be_bounds)
+          (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+      in
+      {
+        submit =
+          (fun app ~name ~service ~on_done ->
+            ignore
+              (Skyloft.Hybrid.submit rt app ~record:false ~name
+                 (Coro.Compute
+                    ( service,
+                      fun () ->
+                        on_done ();
+                        Coro.Exit ))));
+        create_app = (fun ~name -> Skyloft.Hybrid.create_app rt ~name);
+        attach_be =
+          (fun app ~chunk ~workers ->
+            Skyloft.Hybrid.attach_be_app rt app ~chunk ~workers);
+        be_preemptions = (fun () -> Skyloft.Hybrid.be_preemptions rt);
+        allocator = (fun () -> Skyloft.Hybrid.allocator rt);
+      }
+
+type lc_state = {
+  l_spec : lc_spec;
+  l_app : App.t;
+  l_rng : Rng.t;  (* service draws + mix picks *)
+  l_hist : Histogram.t;
+  mutable l_submitted : int;
+  mutable l_completed : int;
+}
+
+let pick_branch rng branches =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 branches in
+  let u = Rng.float rng total in
+  let rec go acc = function
+    | [ (_, shape) ] -> shape
+    | (w, shape) :: rest -> if u < acc +. w then shape else go (acc +. w) rest
+    | [] -> assert false
+  in
+  go 0.0 branches
+
+let run ?(seed = 42) ~requests ~runtime scenario =
+  validate scenario;
+  if requests < 1 then invalid_arg "Scenario.run: requests must be >= 1";
+  let engine = Engine.create ~seed () in
+  let topo_cores =
+    match runtime with
+    | Percpu -> scenario.cores
+    | Centralized | Hybrid -> scenario.cores + 1
+  in
+  let machine =
+    Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:topo_cores)
+  in
+  let kmod = Kmod.create machine in
+  let be_tenant =
+    List.find_map (function Be b -> Some b | Lc _ -> None) scenario.tenants
+  in
+  let iface =
+    make_iface ~machine ~kmod ~runtime ~cores:scenario.cores
+      ~timer_hz:scenario.timer_hz ~quantum:scenario.quantum
+      ~be_bounds:(Option.map (fun b -> b.bounds) be_tenant)
+  in
+  (* Apps are created and RNG streams split in scenario order, before
+     anything runs: the draw order is part of the seed contract. *)
+  let lcs =
+    List.filter_map
+      (function
+        | Lc spec ->
+            Some
+              {
+                l_spec = spec;
+                l_app = iface.create_app ~name:spec.lc_name;
+                l_rng = Engine.split_rng engine;
+                l_hist = Histogram.create ();
+                l_submitted = 0;
+                l_completed = 0;
+              }
+        | Be _ -> None)
+      scenario.tenants
+  in
+  let arrival_rngs = List.map (fun _ -> Engine.split_rng engine) lcs in
+  (match be_tenant with
+  | Some { be_name; chunk; workers; _ } ->
+      let app = iface.create_app ~name:be_name in
+      let workers =
+        match workers with Some w -> w | None -> scenario.cores
+      in
+      iface.attach_be app ~chunk ~workers
+  | None -> ());
+  let submitted = ref 0 and completed = ref 0 in
+  let last_completion = ref 0 in
+  (* One request: compile the shape to task submissions.  [finish] runs
+     at the completion of the last stage (chain) or the join (fan-out)
+     and records only into the tenant's bounded histogram — nothing
+     per-request survives the request. *)
+  let issue (l : lc_state) at =
+    l.l_submitted <- l.l_submitted + 1;
+    incr submitted;
+    let finish () =
+      l.l_completed <- l.l_completed + 1;
+      incr completed;
+      let now = Engine.now engine in
+      last_completion := max !last_completion now;
+      Histogram.record l.l_hist (now - at)
+    in
+    let rec exec shape k =
+      match shape with
+      | Shape.Single d | Shape.Chain [ d ] ->
+          iface.submit l.l_app ~name:l.l_spec.lc_name
+            ~service:(Dist.sample d l.l_rng) ~on_done:k
+      | Shape.Chain [] -> assert false (* validated non-empty *)
+      | Shape.Chain (d :: rest) ->
+          iface.submit l.l_app ~name:l.l_spec.lc_name
+            ~service:(Dist.sample d l.l_rng)
+            ~on_done:(fun () -> exec (Shape.Chain rest) k)
+      | Shape.Fanout { width; stage } ->
+          let remaining = ref width in
+          for _ = 1 to width do
+            iface.submit l.l_app ~name:l.l_spec.lc_name
+              ~service:(Dist.sample stage l.l_rng)
+              ~on_done:(fun () ->
+                decr remaining;
+                if !remaining = 0 then k ())
+          done
+      | Shape.Mix branches -> exec (pick_branch l.l_rng branches) k
+    in
+    exec l.l_spec.shape finish
+  in
+  List.iter2
+    (fun l arrival_rng ->
+      let next = Arrival.sampler l.l_spec.arrival arrival_rng in
+      Loadgen.stream engine
+        ~next:(fun ~now -> if !submitted >= requests then None else next ~now)
+        (fun at -> issue l at))
+    lcs arrival_rngs;
+  (* Drain in bounded chunks: the periodic timers refill the event queue
+     forever, so the engine never runs dry on its own — run until every
+     submitted request completed, with a generous cap so a wedged cell
+     reports completed < submitted instead of hanging. *)
+  let expected_ns =
+    int_of_float (float_of_int requests /. mean_rate_rps scenario *. 1e9)
+  in
+  let chunk = max (Time.ms 10) (expected_ns / 16) in
+  let hard_cap = (8 * expected_ns) + Time.s 1 in
+  let rec drain until =
+    Engine.run ~until engine;
+    if (!submitted < requests || !completed < !submitted) && until < hard_cap
+    then drain (until + chunk)
+  in
+  drain chunk;
+  {
+    scenario = scenario.name;
+    runtime = runtime_name runtime;
+    target = requests;
+    submitted = !submitted;
+    completed = !completed;
+    last_completion = !last_completion;
+    tenants =
+      List.map
+        (fun l ->
+          {
+            tenant = l.l_spec.lc_name;
+            submitted = l.l_submitted;
+            completed = l.l_completed;
+            latency = l.l_hist;
+          })
+        lcs;
+    be_preemptions = iface.be_preemptions ();
+    alloc_grants =
+      (match iface.allocator () with Some a -> Allocator.grants a | None -> 0);
+    alloc_reclaims =
+      (match iface.allocator () with Some a -> Allocator.reclaims a | None -> 0);
+  }
+
+(* ---- digests -------------------------------------------------------------- *)
+
+let hist_line h =
+  Printf.sprintf "n=%d min=%d p50=%d p90=%d p99=%d p999=%d max=%d mean=%.3f"
+    (Histogram.count h) (Histogram.min_value h)
+    (Histogram.percentile h 50.0) (Histogram.percentile h 90.0)
+    (Histogram.percentile h 99.0) (Histogram.percentile h 99.9)
+    (Histogram.max_value h) (Histogram.mean h)
+
+(* Everything request-visible, rendered deterministically: the scale
+   experiment's golden digests are MD5 over this string. *)
+let digest_string d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s|%s|target=%d|submitted=%d|completed=%d|last=%d\n"
+       d.scenario d.runtime d.target d.submitted d.completed d.last_completion);
+  Buffer.add_string buf
+    (Printf.sprintf "be_preempt=%d|grants=%d|reclaims=%d\n" d.be_preemptions
+       d.alloc_grants d.alloc_reclaims);
+  List.iter
+    (fun td ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s|submitted=%d|completed=%d|%s\n" td.tenant
+           td.submitted td.completed (hist_line td.latency)))
+    d.tenants;
+  Buffer.add_string buf (Printf.sprintf "all|%s\n" (hist_line (merged_latency d)));
+  Buffer.contents buf
+
+let pp_digest ppf d =
+  Format.fprintf ppf "%s on %s: %d/%d completed, all %s" d.scenario d.runtime
+    d.completed d.submitted
+    (hist_line (merged_latency d))

@@ -1,0 +1,128 @@
+module Time = Skyloft_sim.Time
+module Histogram = Skyloft_stats.Histogram
+
+(** The scenario DSL: declarative workloads compiled onto the runtimes.
+
+    A scenario composes three orthogonal pieces:
+
+    - {e arrival processes} ({!Arrival}): when requests arrive — Poisson,
+      MMPP on/off bursts, diurnal piecewise-rate curves;
+    - {e service shapes} ({!Shape}): what one request costs — a single
+      stage, a sequential chain, a parallel fan-out with join, or a
+      weighted mix of those;
+    - {e a tenant mix}: N co-located applications (hundreds scale fine)
+      tagged LC or BE, the BE tenant carrying guaranteed/burstable core
+      bounds that feed the {!Skyloft_alloc} allocator.
+
+    {!run} compiles any scenario onto any of the three runtimes through
+    {!Skyloft_net.Loadgen.stream} and returns only mergeable streaming
+    digests — per-tenant log-linear histograms and counters, never
+    per-request records — so a cell can run 10⁷+ requests in bounded
+    live heap.  Everything is a pure function of the seed: same seed ⇒
+    byte-identical {!digest_string}, at any [-j]. *)
+
+type bounds = { guaranteed : int; burstable : int option }
+(** BE core band fed to the allocator: [guaranteed] cores are never
+    reclaimed, growth stops at [burstable] (default: every core). *)
+
+type lc_spec = { lc_name : string; shape : Shape.t; arrival : Arrival.t }
+
+type be_spec = {
+  be_name : string;
+  chunk : Time.t;
+  workers : int option;
+  bounds : bounds;
+}
+
+type tenant = Lc of lc_spec | Be of be_spec
+
+type t = {
+  name : string;
+  cores : int;  (** worker cores (the centralized flavours add a dispatcher) *)
+  timer_hz : int;
+  quantum : Time.t;
+  tenants : tenant list;
+}
+
+val lc : name:string -> shape:Shape.t -> arrival:Arrival.t -> tenant
+(** A latency-critical tenant: an open-loop request stream. *)
+
+val be :
+  ?chunk:Time.t ->
+  ?workers:int ->
+  ?guaranteed:int ->
+  ?burstable:int ->
+  name:string ->
+  unit ->
+  tenant
+(** The best-effort tenant: endless [chunk]-sized batch work (default
+    50 µs chunks, one worker per core), co-scheduled under the core
+    allocator within [guaranteed]..[burstable] cores (defaults 0..all). *)
+
+val make :
+  ?timer_hz:int -> ?quantum:Time.t -> name:string -> cores:int -> tenant list -> t
+(** Assemble a scenario (100 kHz user timer and 30 µs quantum by
+    default, the Table 5 parameters). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on: no LC tenant; more than one BE tenant
+    (the runtimes attach a single BE application to the allocator);
+    duplicate tenant names; out-of-range bounds; or any invalid shape or
+    arrival process (recursively). *)
+
+val mean_rate_rps : t -> float
+(** Aggregate long-run LC arrival rate. *)
+
+val offered_load : t -> float
+(** Long-run LC compute demand over worker capacity (1.0 = saturated,
+    before scheduling overheads). *)
+
+(** {1 Compilation} *)
+
+type runtime = Percpu | Centralized | Hybrid
+
+val runtime_name : runtime -> string
+val runtimes : runtime list
+
+type tenant_digest = {
+  tenant : string;
+  submitted : int;
+  completed : int;
+  latency : Histogram.t;  (** response time, ns; mergeable snapshot *)
+}
+
+type digest = {
+  scenario : string;
+  runtime : string;
+  target : int;  (** requested request count *)
+  submitted : int;  (** actual; may overshoot by at most one in-flight
+                        arrival per LC tenant *)
+  completed : int;
+  last_completion : Time.t;
+  tenants : tenant_digest list;  (** LC tenants, scenario order *)
+  be_preemptions : int;
+  alloc_grants : int;
+  alloc_reclaims : int;
+}
+
+val run : ?seed:int -> requests:int -> runtime:runtime -> t -> digest
+(** Compile and run one cell: build the runtime (work-stealing per-CPU,
+    Shinjuku-Shenango centralized, or the hybrid), create one app per
+    tenant, attach the BE tenant to the allocator with its bounds, drive
+    every LC tenant's arrival process through
+    {!Skyloft_net.Loadgen.stream} until [requests] arrivals have been
+    issued in total, then drain until every submitted request completed
+    (bounded: a wedged cell returns [completed < submitted] rather than
+    hanging).  Live heap is O(tenants + in-flight), independent of
+    [requests].  Deterministic in [seed] (default 42). *)
+
+val merged_latency : digest -> Histogram.t
+(** All LC tenants' latency histograms merged into one (fresh). *)
+
+val digest_string : digest -> string
+(** Canonical deterministic rendering of everything request-visible in
+    the digest: counts, per-tenant and merged histogram summaries,
+    allocator totals.  The scale experiment's goldens are MD5 over
+    this. *)
+
+val pp_digest : Format.formatter -> digest -> unit

@@ -1,0 +1,58 @@
+module Dist = Skyloft_sim.Dist
+
+type t =
+  | Single of Dist.t
+  | Chain of Dist.t list
+  | Fanout of { width : int; stage : Dist.t }
+  | Mix of (float * t) list
+
+let rec validate = function
+  | Single _ -> ()
+  | Chain [] -> invalid_arg "Shape: Chain needs at least one stage"
+  | Chain _ -> ()
+  | Fanout { width; _ } ->
+      if width < 1 then invalid_arg "Shape: Fanout width must be >= 1"
+  | Mix [] -> invalid_arg "Shape: Mix needs at least one branch"
+  | Mix branches ->
+      List.iter
+        (fun (w, shape) ->
+          if w <= 0.0 then invalid_arg "Shape: Mix weights must be positive";
+          validate shape)
+        branches
+
+let rec mean_service = function
+  | Single d -> Dist.mean d
+  | Chain ds -> List.fold_left (fun acc d -> acc +. Dist.mean d) 0.0 ds
+  | Fanout { width; stage } -> float_of_int width *. Dist.mean stage
+  | Mix branches ->
+      let weighted, total =
+        List.fold_left
+          (fun (acc, tw) (w, shape) -> (acc +. (w *. mean_service shape), tw +. w))
+          (0.0, 0.0) branches
+      in
+      weighted /. total
+
+let rec stages = function
+  | Single _ -> 1
+  | Chain ds -> List.length ds
+  | Fanout { width; _ } -> width
+  | Mix branches ->
+      List.fold_left (fun acc (_, shape) -> max acc (stages shape)) 0 branches
+
+let rec pp ppf = function
+  | Single d -> Format.fprintf ppf "single(%a)" Dist.pp d
+  | Chain ds ->
+      Format.fprintf ppf "chain(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           Dist.pp)
+        ds
+  | Fanout { width; stage } -> Format.fprintf ppf "fanout(%d x %a)" width Dist.pp stage
+  | Mix branches ->
+      let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 branches in
+      Format.fprintf ppf "mix(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+           (fun ppf (w, shape) ->
+             Format.fprintf ppf "%.0f%% %a" (w /. total *. 100.) pp shape))
+        branches

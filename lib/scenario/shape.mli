@@ -1,0 +1,41 @@
+module Dist = Skyloft_sim.Dist
+
+(** Declarative service shapes for the scenario DSL: {e what} one request
+    costs, as a composition of compute stages.
+
+    Shapes follow the ebsl benchmark suite's three archetypes —
+    [benchmark_webserver] (one stage per request), [benchmark_chain]
+    (sequential dependent stages), [benchmark_mixer] (a probabilistic mix
+    of different request classes, including parallel fan-out) — and
+    compile onto runtime task submissions in {!Scenario}. *)
+
+type t =
+  | Single of Dist.t  (** one compute stage per request *)
+  | Chain of Dist.t list
+      (** sequential stages: stage [i+1] is submitted when stage [i]
+          completes (its own scheduling round trip each time); the
+          request completes with the last stage *)
+  | Fanout of { width : int; stage : Dist.t }
+      (** parallel stages: [width] tasks submitted together, each with an
+          independent draw from [stage]; the request completes when all
+          of them have (a webserver handler fanning out to backends and
+          joining) *)
+  | Mix of (float * t) list
+      (** weighted request classes: each arrival picks one branch with
+          probability proportional to its weight *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on an empty chain or mix, non-positive mix
+    weights, or a fan-out width below 1 (recursively). *)
+
+val mean_service : t -> float
+(** Expected total compute demand of one request in ns (exact from
+    {!Dist.mean}): chain stages and fan-out branches add their work.
+    Note this is CPU demand, not latency — fan-out stages overlap in
+    time on a multi-core runtime. *)
+
+val stages : t -> int
+(** Maximum number of task submissions one request can cost (chain
+    length / fan-out width; max across mix branches). *)
+
+val pp : Format.formatter -> t -> unit

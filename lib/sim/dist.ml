@@ -4,6 +4,7 @@ type t =
   | Uniform of { lo : Time.t; hi : Time.t }
   | Bimodal of { p_short : float; short : Time.t; long : Time.t }
   | Lognormal of { mu : float; sigma : float }
+  | Pareto of { scale : Time.t; alpha : float; cap : Time.t }
 
 let clamp x = if x < 1 then 1 else x
 
@@ -23,6 +24,13 @@ let sample t rng =
       if Rng.uniform rng < p_short then clamp short else clamp long
   | Lognormal { mu; sigma } ->
       clamp (int_of_float (exp (mu +. (sigma *. normal rng))))
+  | Pareto { scale; alpha; cap } ->
+      if scale < 1 || cap < scale || alpha <= 0.0 then
+        invalid_arg "Dist.sample: Pareto needs 1 <= scale <= cap and alpha > 0";
+      (* Inverse CDF on (0, 1]: 1 - uniform avoids u = 0 (infinite draw). *)
+      let u = 1.0 -. Rng.uniform rng in
+      let x = float_of_int scale /. (u ** (1.0 /. alpha)) in
+      clamp (min cap (int_of_float x))
 
 let mean = function
   | Constant d -> float_of_int d
@@ -31,6 +39,19 @@ let mean = function
   | Bimodal { p_short; short; long } ->
       (p_short *. float_of_int short) +. ((1.0 -. p_short) *. float_of_int long)
   | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Pareto { scale; alpha; cap } ->
+      (* Exact mean of the capped distribution min(X, cap):
+         E = int_{s}^{c} x f(x) dx + c * P(X > c)
+           = alpha/(alpha-1) * s * (1 - (s/c)^(alpha-1)) + c * (s/c)^alpha
+         and the alpha = 1 limit is s * (1 + ln (c/s)).  The cap makes the
+         mean finite even for alpha <= 1, where the unbounded Pareto
+         diverges. *)
+      let s = float_of_int scale and c = float_of_int cap in
+      if cap = scale then s
+      else if Float.abs (alpha -. 1.0) < 1e-9 then s *. (1.0 +. log (c /. s))
+      else
+        (alpha /. (alpha -. 1.0) *. s *. (1.0 -. ((s /. c) ** (alpha -. 1.0))))
+        +. (c *. ((s /. c) ** alpha))
 
 let pp ppf = function
   | Constant d -> Format.fprintf ppf "const(%a)" Time.pp d
@@ -39,7 +60,13 @@ let pp ppf = function
   | Bimodal { p_short; short; long } ->
       Format.fprintf ppf "bimodal(%.1f%% %a / %a)" (p_short *. 100.) Time.pp short Time.pp long
   | Lognormal { mu; sigma } -> Format.fprintf ppf "lognormal(mu=%.2f,sigma=%.2f)" mu sigma
+  | Pareto { scale; alpha; cap } ->
+      Format.fprintf ppf "pareto(scale=%a,alpha=%.2f,cap=%a)" Time.pp scale alpha
+        Time.pp cap
 
 let dispersive = Bimodal { p_short = 0.995; short = Time.us 4; long = Time.ms 10 }
 let rocksdb_bimodal = Bimodal { p_short = 0.5; short = Time.ns 950; long = Time.us 591 }
 let memcached_usr = Exponential { mean = Time.us 2 }
+
+let pareto_heavy =
+  Pareto { scale = Time.us 1; alpha = 1.3; cap = Time.ms 5 }

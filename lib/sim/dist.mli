@@ -14,12 +14,20 @@ type t =
           (50% 0.95 µs / 50% 591 µs) workloads are both of this form *)
   | Lognormal of { mu : float; sigma : float }
       (** parameters of the underlying normal; samples in ns *)
+  | Pareto of { scale : Time.t; alpha : float; cap : Time.t }
+      (** bounded heavy tail: a Pareto with minimum [scale] and shape
+          [alpha], clamped at [cap].  Requires [1 <= scale <= cap] and
+          [alpha > 0].  The cap keeps the mean finite (and [mean] exact)
+          even for [alpha <= 1], where the unbounded Pareto diverges —
+          LibPreemptible-style heavy-tailed service times without
+          unbounded single requests. *)
 
 val sample : t -> Rng.t -> Time.t
 (** Draw one duration.  Samples are clamped to be at least 1 ns. *)
 
 val mean : t -> float
-(** Expected value in nanoseconds (exact, not estimated). *)
+(** Expected value in nanoseconds (exact, not estimated; for [Pareto] the
+    mean of the capped distribution [min (X, cap)], in closed form). *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -36,3 +44,7 @@ val memcached_usr : t
 (** §5.3 Memcached USR workload service time: GET-dominated and
     light-tailed.  Modelled as exponential with a 2 µs mean around the
     measured per-request cost. *)
+
+val pareto_heavy : t
+(** Heavy-tailed reference workload for the scenario experiments: Pareto
+    with a 1 µs minimum, shape 1.3, capped at 5 ms (mean ~4.1 µs). *)

@@ -7,6 +7,13 @@ type t = {
   mutable head : int;  (* next write position *)
   mutable count : int;
   mutable dropped : int;
+  (* Accounting for the truncated prefix: the step function over samples
+     already evicted from the ring.  [trunc_span] is the virtual time the
+     evicted samples covered, [trunc_weighted] their value*dt integral —
+     enough for [integrate]/[mean] to stay exact over the full history
+     without retaining the samples themselves. *)
+  mutable trunc_span : Time.t;
+  mutable trunc_weighted : float;
 }
 
 let create ?(capacity = 65_536) () =
@@ -18,6 +25,8 @@ let create ?(capacity = 65_536) () =
     head = 0;
     count = 0;
     dropped = 0;
+    trunc_span = 0;
+    trunc_weighted = 0.0;
   }
 
 let nth t i =
@@ -36,7 +45,20 @@ let record t ~at v =
   match last t with
   | Some (_, prev_v) when prev_v = v -> ()
   | _ ->
-      if t.count = t.capacity then t.dropped <- t.dropped + 1
+      if t.count = t.capacity then begin
+        (* Evicting the oldest sample: fold the interval it covered — up
+           to the next retained sample (or the incoming one at capacity
+           1) — into the truncated-prefix accumulators before the slot is
+           overwritten. *)
+        let t0 = t.times.(t.head) and v0 = t.values.(t.head) in
+        let t1 = if t.capacity > 1 then t.times.((t.head + 1) mod t.capacity) else at in
+        if t1 > t0 then begin
+          t.trunc_span <- t.trunc_span + (t1 - t0);
+          t.trunc_weighted <-
+            t.trunc_weighted +. (float_of_int (t1 - t0) *. float_of_int v0)
+        end;
+        t.dropped <- t.dropped + 1
+      end
       else t.count <- t.count + 1;
       t.times.(t.head) <- at;
       t.values.(t.head) <- v;
@@ -44,6 +66,7 @@ let record t ~at v =
 
 let length t = t.count
 let dropped t = t.dropped
+let truncated_span t = t.trunc_span
 
 let to_list t =
   let acc = ref [] in
@@ -82,12 +105,14 @@ let weighted_span t ~until =
 
 let integrate t ~until =
   let weighted, _ = weighted_span t ~until in
-  weighted
+  t.trunc_weighted +. weighted
 
 let mean t ~until =
   if t.count = 0 then 0.0
   else begin
     let weighted, span = weighted_span t ~until in
+    let weighted = t.trunc_weighted +. weighted
+    and span = float_of_int t.trunc_span +. span in
     if span = 0.0 then float_of_int (snd (nth t (t.count - 1)))
     else weighted /. span
   end

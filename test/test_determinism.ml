@@ -30,7 +30,7 @@ let test_hybrid_trace_byte_identical () =
     (String.equal json1 json2)
 
 let test_sweep_point_reproducible () =
-  let config = { E.Config.duration = Time.ms 5; seed = 11; jobs = 1 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 11; jobs = 1; requests = None } in
   List.iter
     (fun runtime ->
       let p1 = E.Fault_sweep.run_point config ~runtime ~rate:0.05 in
@@ -44,7 +44,7 @@ let test_sweep_point_reproducible () =
 let test_sweep_fault_free_reproducible () =
   (* rate 0 arms nothing: the fault machinery present but disabled must
      still be a pure function of the seed (no hidden RNG draws). *)
-  let config = { E.Config.duration = Time.ms 5; seed = 3; jobs = 1 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 3; jobs = 1; requests = None } in
   let p1 = E.Fault_sweep.run_point config ~runtime:("percpu", E.Fault_sweep.Percore) ~rate:0.0 in
   let p2 = E.Fault_sweep.run_point config ~runtime:("percpu", E.Fault_sweep.Percore) ~rate:0.0 in
   check bool "fault-free runs identical" true (p1 = p2);
@@ -54,7 +54,7 @@ let test_obs_registry_transparent () =
   (* Attaching the metrics registry (and snapshotting it) must not perturb
      the simulation: the trace-and-attribution fingerprint of a registry-on
      run must equal the registry-off run at the same seed. *)
-  let config = { E.Config.duration = Time.ms 5; seed = 7; jobs = 1 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 7; jobs = 1; requests = None } in
   List.iter
     (fun runtime ->
       let on_ = E.Obs_report.run_point config ~runtime ~instrumented:true in
@@ -84,6 +84,16 @@ let golden =
     ("obs-report-centralized", "8661815e83e556500087e0615508cdea");
     ("obs-report-percpu", "15d4959e4628708894c4151cdb1e7e1b");
     ("obs-report-hybrid", "2b8295ae9d0b0b633242042411c74f0c");
+    (* scenario-DSL cells: 30k requests through the scale compile path *)
+    ("scale-steady-pareto-percpu", "628c483b5bb73dd1b04f8169d1a31292");
+    ("scale-steady-pareto-centralized", "0fe7a85605c82f6d8c68d13b820622e9");
+    ("scale-steady-pareto-hybrid", "79733c6e39acec77d7404c6a98921ea8");
+    ("scale-bursty-mmpp-percpu", "edcb239fb33c9d769b60bd468c04b644");
+    ("scale-bursty-mmpp-centralized", "bca46aad79898bf490b75091ba8a3dcc");
+    ("scale-bursty-mmpp-hybrid", "4d05f92172daf794a9cae5bac99b7a82");
+    ("scale-tenant-mix-percpu", "408a0b03939892f7614a351acfb2b035");
+    ("scale-tenant-mix-centralized", "2bf6238e0d5777cc0a9883bdaf7a50e7");
+    ("scale-tenant-mix-hybrid", "73d3dfbb760010794372732c471ab1d4");
   ]
 
 let check_golden got =

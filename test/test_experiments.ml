@@ -9,7 +9,7 @@ module E = Skyloft_experiments
 let check = Alcotest.check
 
 (* Tiny config: enough samples for orderings, fast enough for CI. *)
-let tiny = { E.Config.duration = Time.ms 40; seed = 7; jobs = 1 }
+let tiny = { E.Config.duration = Time.ms 40; seed = 7; jobs = 1; requests = None }
 
 let test_fig5_shape () =
   (* Run one Linux and one Skyloft system at one oversubscribed point. *)

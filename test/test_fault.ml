@@ -399,7 +399,7 @@ let test_zero_service_requests_reconcile () =
 (* ---- fault sweep: reconciliation — no task silently lost ---- *)
 
 let test_fault_sweep_zero_lost () =
-  let config = { E.Config.duration = Time.ms 5; seed = 7; jobs = 1 } in
+  let config = { E.Config.duration = Time.ms 5; seed = 7; jobs = 1; requests = None } in
   List.iter
     (fun runtime ->
       let p = E.Fault_sweep.run_point config ~runtime ~rate:0.05 in

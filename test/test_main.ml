@@ -20,6 +20,7 @@ let () =
       ("sync", Test_sync.suite);
       ("properties", Test_properties.suite);
       ("trace", Test_trace.suite);
+      ("scenario", Test_scenario.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);
       ("uthread", Test_uthread.suite);

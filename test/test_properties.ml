@@ -147,6 +147,37 @@ let prop_centralized_all_complete =
       let completed, queued = run_centralized workload in
       completed = List.length workload && queued = 0)
 
+(* ---- Histogram sharding ------------------------------------------------ *)
+
+module Histogram = Skyloft_stats.Histogram
+
+(* The correctness base for [-j]-merged scale cells: recording values
+   into per-shard histograms and merging the shards must be count-exact
+   and percentile-equal to recording everything into one central
+   histogram — regardless of how values are split across shards. *)
+let prop_histogram_shard_merge =
+  QCheck.Test.make ~name:"Histogram.merge_into: shards == central" ~count:100
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (Gen.int_range 1 400) (int_range 0 50_000_000)))
+    (fun (shards, values) ->
+      let central = Histogram.create () in
+      let shard = Array.init shards (fun _ -> Histogram.create ()) in
+      List.iteri
+        (fun i v ->
+          Histogram.record central v;
+          Histogram.record shard.(i mod shards) v)
+        values;
+      let merged = Histogram.create () in
+      Array.iter (fun src -> Histogram.merge_into ~src ~dst:merged) shard;
+      Histogram.count merged = Histogram.count central
+      && Histogram.min_value merged = Histogram.min_value central
+      && Histogram.max_value merged = Histogram.max_value central
+      && List.for_all
+           (fun p -> Histogram.percentile merged p = Histogram.percentile central p)
+           [ 0.0; 25.0; 50.0; 90.0; 99.0; 99.9; 100.0 ]
+      && Histogram.mean merged = Histogram.mean central)
+
 let suite =
   List.concat_map
     (fun policy ->
@@ -161,4 +192,5 @@ let suite =
       qtest (prop_deterministic (List.nth policies 5));
       qtest prop_fifo_never_preempts;
       qtest prop_centralized_all_complete;
+      qtest prop_histogram_shard_merge;
     ]

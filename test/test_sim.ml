@@ -153,6 +153,75 @@ let test_dist_empirical_exponential () =
   let mean = float_of_int !sum /. float_of_int n in
   check Alcotest.bool "exp empirical mean" true (abs_float (mean -. 10_000.) < 200.)
 
+let test_dist_pareto_exact_mean () =
+  (* alpha = 2, s = 1000, c = 100_000:
+     2*1000*(1 - 1/100) + 100_000*(1/100)^2 = 1980 + 10 = 1990 *)
+  check (Alcotest.float 1e-6) "alpha=2 mean" 1990.0
+    (Dist.mean (Dist.Pareto { scale = 1_000; alpha = 2.0; cap = 100_000 }));
+  (* the alpha = 1 limit: s * (1 + ln (c/s)) *)
+  check (Alcotest.float 1e-6) "alpha=1 mean"
+    (1_000.0 *. (1.0 +. log 100.0))
+    (Dist.mean (Dist.Pareto { scale = 1_000; alpha = 1.0; cap = 100_000 }));
+  (* cap = scale degenerates to a constant *)
+  check (Alcotest.float 1e-6) "cap=scale mean" 1_000.0
+    (Dist.mean (Dist.Pareto { scale = 1_000; alpha = 1.3; cap = 1_000 }))
+
+let test_dist_pareto_bounded () =
+  let rng = Rng.create ~seed:9 in
+  let d = Dist.Pareto { scale = 1_000; alpha = 1.3; cap = 50_000 } in
+  for _ = 1 to 20_000 do
+    let x = Dist.sample d rng in
+    check Alcotest.bool "within [scale, cap]" true (x >= 1_000 && x <= 50_000)
+  done
+
+let test_dist_pareto_invalid () =
+  let rng = Rng.create ~seed:0 in
+  Alcotest.check_raises "cap < scale"
+    (Invalid_argument "Dist.sample: Pareto needs 1 <= scale <= cap and alpha > 0")
+    (fun () ->
+      ignore (Dist.sample (Dist.Pareto { scale = 100; alpha = 1.3; cap = 50 }) rng));
+  Alcotest.check_raises "alpha <= 0"
+    (Invalid_argument "Dist.sample: Pareto needs 1 <= scale <= cap and alpha > 0")
+    (fun () ->
+      ignore (Dist.sample (Dist.Pareto { scale = 100; alpha = 0.0; cap = 500 }) rng))
+
+let test_dist_pareto_empirical_mean () =
+  (* The convergence check the scale cells lean on: the capped tail makes
+     the empirical mean converge to the exact Dist.mean. *)
+  let rng = Rng.create ~seed:33 in
+  let d = Dist.pareto_heavy in
+  let expected = Dist.mean d in
+  let n = 400_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. float_of_int (Dist.sample d rng)
+  done;
+  let empirical = !sum /. float_of_int n in
+  check Alcotest.bool
+    (Printf.sprintf "pareto empirical %.1f ~ exact %.1f" empirical expected)
+    true
+    (abs_float (empirical -. expected) /. expected < 0.05)
+
+let prop_pareto_empirical_mean =
+  (* Across random (scale, cap ratio, alpha): sampling converges to the
+     closed form.  scale >= 500 keeps integer truncation (< 1 ns per
+     draw) far below the 8% tolerance; the cap bounds the variance so
+     30k draws suffice even at alpha near 1. *)
+  QCheck.Test.make ~name:"Dist.Pareto empirical mean ~ exact mean" ~count:25
+    QCheck.(
+      quad small_int (int_range 500 5_000) (int_range 2 100)
+        (float_range 1.05 3.0))
+    (fun (seed, scale, ratio, alpha) ->
+      let d = Dist.Pareto { scale; alpha; cap = scale * ratio } in
+      let rng = Rng.create ~seed in
+      let n = 30_000 in
+      let sum = ref 0.0 in
+      for _ = 1 to n do
+        sum := !sum +. float_of_int (Dist.sample d rng)
+      done;
+      let empirical = !sum /. float_of_int n and expected = Dist.mean d in
+      abs_float (empirical -. expected) /. expected < 0.08)
+
 (* ---- Eventq ---- *)
 
 let test_eventq_ordering () =
@@ -450,6 +519,12 @@ let suite =
     Alcotest.test_case "dist: exact means" `Quick test_dist_means;
     Alcotest.test_case "dist: paper workloads" `Quick test_dist_paper_workloads;
     Alcotest.test_case "dist: empirical exponential" `Slow test_dist_empirical_exponential;
+    Alcotest.test_case "dist: pareto exact means" `Quick test_dist_pareto_exact_mean;
+    Alcotest.test_case "dist: pareto bounded" `Slow test_dist_pareto_bounded;
+    Alcotest.test_case "dist: pareto invalid args" `Quick test_dist_pareto_invalid;
+    Alcotest.test_case "dist: pareto empirical mean" `Slow
+      test_dist_pareto_empirical_mean;
+    qtest prop_pareto_empirical_mean;
     qtest prop_sample_positive;
     Alcotest.test_case "eventq: ordering" `Quick test_eventq_ordering;
     Alcotest.test_case "eventq: FIFO ties" `Quick test_eventq_tie_fifo;

@@ -175,6 +175,68 @@ let test_timeseries_integrate () =
   check (Alcotest.float 1e-6) "prefix integral" 200.0
     (Timeseries.integrate s ~until:100)
 
+let test_timeseries_truncation_exact () =
+  (* A wrapped series must agree with an unbounded reference: eviction
+     folds each dropped sample's holding interval into the truncation
+     accumulators, so integrate/mean stay exact over the full history. *)
+  let module Timeseries = Skyloft_stats.Timeseries in
+  let small = Timeseries.create ~capacity:4 () in
+  let big = Timeseries.create ~capacity:10_000 () in
+  (* distinct values so collapsing never kicks in; irregular spacing *)
+  for i = 0 to 499 do
+    let at = i * 7 and v = (i * 13 mod 97) + i in
+    Timeseries.record small ~at v;
+    Timeseries.record big ~at v
+  done;
+  let until = 500 * 7 in
+  check Alcotest.int "reference dropped nothing" 0 (Timeseries.dropped big);
+  check Alcotest.bool "wrapped series dropped samples" true
+    (Timeseries.dropped small > 0);
+  check Alcotest.int "window holds capacity samples" 4 (Timeseries.length small);
+  check (Alcotest.float 1e-6) "integral exact across eviction"
+    (Timeseries.integrate big ~until)
+    (Timeseries.integrate small ~until);
+  check (Alcotest.float 1e-9) "mean exact across eviction"
+    (Timeseries.mean big ~until)
+    (Timeseries.mean small ~until)
+
+let test_timeseries_truncated_span () =
+  let module Timeseries = Skyloft_stats.Timeseries in
+  let s = Timeseries.create ~capacity:2 () in
+  Timeseries.record s ~at:0 1;
+  Timeseries.record s ~at:100 2;
+  check Alcotest.int "no truncation before wrap" 0 (Timeseries.truncated_span s);
+  Timeseries.record s ~at:250 3;
+  (* the at:0 sample (held 0..100) scrolled out *)
+  check Alcotest.int "span of the evicted holding interval" 100
+    (Timeseries.truncated_span s);
+  check Alcotest.int "one sample dropped" 1 (Timeseries.dropped s);
+  Timeseries.record s ~at:400 4;
+  (* now at:100 (held 100..250) is gone too *)
+  check Alcotest.int "span accumulates" 250 (Timeseries.truncated_span s);
+  (* window-only views see just the retained ring *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "window holds the two newest" [ (250, 3); (400, 4) ]
+    (Timeseries.to_list s);
+  (* full-history accounting: 1*100 + 2*150 + 3*150 + 4*100 = 1250 *)
+  check (Alcotest.float 1e-6) "integral covers evicted prefix" 1250.0
+    (Timeseries.integrate s ~until:500);
+  check (Alcotest.float 1e-9) "mean over full span" (1250.0 /. 500.0)
+    (Timeseries.mean s ~until:500)
+
+let test_timeseries_capacity_one () =
+  let module Timeseries = Skyloft_stats.Timeseries in
+  let s = Timeseries.create ~capacity:1 () in
+  Timeseries.record s ~at:0 5;
+  Timeseries.record s ~at:10 7;
+  Timeseries.record s ~at:30 9;
+  (* evicted intervals close at the incoming sample: 5*10 + 7*20 *)
+  check Alcotest.int "span at capacity 1" 30 (Timeseries.truncated_span s);
+  check (Alcotest.float 1e-6) "integral at capacity 1"
+    (50.0 +. 140.0 +. (9.0 *. 10.0))
+    (Timeseries.integrate s ~until:40)
+
 let suite =
   [
     Alcotest.test_case "timeseries: empty mean" `Quick test_timeseries_empty_mean;
