@@ -672,6 +672,88 @@ let write_bench_scenario_json () =
   close_out oc;
   E.Report.note "scenario throughput written to %s" bench_scenario_json_path
 
+(* ---- oversubscription bench: broker cost per request -------------------- *)
+
+let bench_oversub_json_path = "BENCH_oversub.json"
+let bench_oversub_requests = 2_000
+
+let write_bench_oversub_json () =
+  E.Report.section
+    "Oversubscribed machine: host cost per simulated request (broker cells)";
+  let clock = Toolkit.Monotonic_clock.make () in
+  let wall f =
+    let t0 = Toolkit.Monotonic_clock.get clock in
+    let r = f () in
+    let t1 = Toolkit.Monotonic_clock.get clock in
+    ((t1 -. t0) /. 1e9, r)
+  in
+  (* one cell per (mix, scenario) at a fixed fleet size: the broker's own
+     overhead dominates here, not the workload *)
+  let n = 8 in
+  let cells =
+    List.concat_map
+      (fun mix -> List.map (fun sc -> (mix, sc)) E.Oversub.scenarios)
+      E.Oversub.mixes
+  in
+  let run_all ~jobs =
+    E.Parallel.map ~jobs
+      (fun (mix, scenario) ->
+        let secs, r =
+          wall (fun () ->
+              E.Oversub.run_cell ~seed:7 ~mix ~n ~scenario
+                ~requests:bench_oversub_requests)
+        in
+        (secs, Skyloft_scenario.Placement.digest_string r))
+      cells
+  in
+  let j1 = run_all ~jobs:1 in
+  let j4 = run_all ~jobs:4 in
+  List.iteri
+    (fun i ((_, d1), (_, d4)) ->
+      if not (String.equal d1 d4) then
+        let mix, sc = List.nth cells i in
+        failwith
+          (Printf.sprintf "BENCH_oversub: %s/%s digest differs at -j 4" mix sc))
+    (List.combine j1 j4);
+  let total_requests = n * bench_oversub_requests in
+  let rows =
+    List.map2
+      (fun (mix, sc) (secs, _) ->
+        (mix, sc, secs, secs *. 1e9 /. float_of_int total_requests))
+      cells j1
+  in
+  E.Report.table
+    ~header:[ "mix"; "scenario"; "wall (s)"; "host ns/request" ]
+    (List.map
+       (fun (mix, sc, secs, nspr) ->
+         [ mix; sc; Printf.sprintf "%.2f" secs; Printf.sprintf "%.0f" nspr ])
+       rows);
+  E.Report.note
+    "%d tenants x %d requests per cell; digests at -j 4 == -j 1 (checked)" n
+    bench_oversub_requests;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"tenants\": %d,\n" n);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"requests_per_tenant\": %d,\n" bench_oversub_requests);
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i (mix, sc, secs, nspr) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"mix\": \"%s\", \"scenario\": \"%s\", \"wall_seconds\": \
+            %.3f, \"host_ns_per_request\": %.1f }%s\n"
+           mix sc secs nspr
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"digests_identical_j1_j4\": true\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out bench_oversub_json_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  E.Report.note "oversub throughput written to %s" bench_oversub_json_path
+
 (* ---- main --------------------------------------------------------------- *)
 
 let () =
@@ -727,6 +809,10 @@ let () =
   (* Scenario DSL (lib/scenario): host cost per simulated request over the
      scale cells + -j identity proof + BENCH_scenario.json. *)
   write_bench_scenario_json ();
+
+  (* Core broker (lib/alloc + lib/scenario placement): oversubscribed
+     multi-tenant cells + -j identity proof + BENCH_oversub.json. *)
+  write_bench_oversub_json ();
 
   (* Ablations of the design choices (DESIGN.md §5). *)
   E.Ablations.print config;

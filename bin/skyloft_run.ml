@@ -101,6 +101,9 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
     ( "scale",
       "scenario DSL x runtime sweep at millions of requests per cell",
       fun c -> ignore (E.Scale.print c) );
+    ( "oversub",
+      "oversubscribed machine: multi-runtime tenant sweep under the core broker",
+      fun c -> ignore (E.Oversub.print c) );
     ( "golden",
       "print the determinism golden fingerprints (fixed seeds)",
       fun c -> E.Golden.print c );

@@ -1,0 +1,160 @@
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Timeseries = Skyloft_stats.Timeseries
+
+(** The machine-level core broker: the {!Allocator} promoted one level up.
+
+    Where the allocator arbitrates cores between the applications of one
+    runtime, the broker arbitrates whole runtimes — tenants — sharing one
+    simulated machine (the iokernel role in Caladan/Shenango).  Each
+    tenant registers a whole-runtime congestion sample, an apply hook
+    (typically the runtime's [set_core_allowance]) and guaranteed /
+    burstable bounds; every interval the broker samples, lets a fresh
+    per-tenant {!Policy} instance ask for or yield cores, and arbitrates
+    under conservation invariants checked on every tick: the sum of
+    grants never exceeds the machine's capacity, and no live tenant ever
+    drops below its guaranteed floor.
+
+    Tenants are untrusted, so the broker layers defenses: per-tenant
+    signal staleness ({!Degrade}/{!Recover}, the allocator's
+    [Degraded]/[Recovered] path lifted to tenant granularity), hoard
+    scores with decay that quarantine a tenant claiming congestion
+    forever ({!Quarantine}/{!Release} — clamped to its floor, never
+    reclaimed past it), and broker-driven reclamation of everything —
+    floor included — when a tenant {!crash}es. *)
+
+type health =
+  | Healthy
+  | Stale  (** congestion signal frozen: clamped to its floor, ignored *)
+  | Quarantined  (** hoard cap tripped: clamped to its floor for a while *)
+  | Crashed  (** everything reclaimed; out of arbitration for good *)
+
+type action =
+  | Grant
+  | Reclaim
+  | Yield
+  | Degrade  (** tenant went stale (cores reclaimed to floor in [delta]) *)
+  | Recover  (** stale tenant's signal moved again *)
+  | Quarantine  (** hoard cap tripped (cores reclaimed to floor in [delta]) *)
+  | Release  (** quarantine served out *)
+  | Crash  (** tenant crashed ([delta] = cores reclaimed, floor included) *)
+
+type event = {
+  at : Time.t;
+  tenant : int;
+  tenant_name : string;
+  action : action;
+  delta : int;
+  granted : int;
+}
+
+type config = {
+  interval : Time.t;  (** sampling period (default 5 µs) *)
+  degrade_after : int;
+      (** consecutive frozen ticks before a tenant is degraded *)
+  hoard_cap : int;  (** hoard score that trips quarantine *)
+  hoard_decay : int;  (** score decay per well-behaved tick *)
+  quarantine_ticks : int;  (** intervals a quarantined tenant sits out *)
+}
+
+val default_config : unit -> config
+(** 5 µs interval, degrade after 20 ticks, hoard cap 40 with decay 2,
+    quarantine 400 ticks (2 ms at the default interval). *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  capacity:int ->
+  ?config:config ->
+  ?on_event:(event -> unit) ->
+  unit ->
+  t
+(** A broker over a machine with [capacity] brokered cores.  Raises
+    [Invalid_argument] on a non-positive capacity or malformed config. *)
+
+val register :
+  t ->
+  tenant:int ->
+  name:string ->
+  kind:Policy.kind ->
+  policy:Policy.t ->
+  bounds:Allocator.bounds ->
+  initial:int ->
+  sample:(unit -> Allocator.raw) ->
+  apply:(granted:int -> delta:int -> Time.t) ->
+  unit
+(** Register a tenant.  [policy] must be a fresh instance (policies carry
+    hysteresis state); [sample] is read once per tick; [apply] drives the
+    runtime's core allowance and returns the switch cost to charge.
+    Registration order is the arbitration order.  Raises
+    [Invalid_argument] on duplicate ids, malformed bounds, or initial
+    grants exceeding the pool. *)
+
+val intercept_sample :
+  t -> tenant:int -> (granted:int -> Allocator.raw -> Allocator.raw) -> unit
+(** Install a fault-injection interceptor rewriting the tenant's raw
+    congestion sample in flight (see [Injector.arm_tenants]). *)
+
+val clear_intercept : t -> tenant:int -> unit
+
+exception Invariant_violation of string
+
+val check_invariants : t -> unit
+(** Raises {!Invariant_violation} unless [sum granted <= capacity] and
+    every non-crashed tenant holds at least its guaranteed floor (and at
+    most its burstable ceiling).  Called internally after every tick. *)
+
+val tick : t -> unit
+(** One control round: sample (through interceptors), staleness edges and
+    quarantine countdown, healthy-tenant policy decisions, hoard scoring,
+    three-phase arbitration (yields, LC grants with BE steals above
+    floors, BE grants), then {!check_invariants}. *)
+
+val start : t -> unit
+(** Tick every [config.interval] until {!stop}. *)
+
+val stop : t -> unit
+
+val crash : t -> tenant:int -> unit
+(** Broker-driven crash reclamation: take back everything the tenant
+    held — the guaranteed floor included, which only a crash may — and
+    exclude it from arbitration and fairness from now on.  Idempotent. *)
+
+val fairness : t -> float
+(** Jain's index over per-tenant core-time integrals, each normalized by
+    its guaranteed floor; 1.0 is perfectly fair, 1/n maximally unfair.
+    Crashed tenants are excluded. *)
+
+(** {1 Accessors} *)
+
+val granted : t -> tenant:int -> int
+val health : t -> tenant:int -> health
+val hoard_score : t -> tenant:int -> int
+val core_ns : t -> tenant:int -> int
+(** Integral of granted cores over time, settled to now. *)
+
+val series : t -> tenant:int -> Timeseries.t
+val capacity : t -> int
+val free_cores : t -> int
+val interval : t -> Time.t
+val grants : t -> int
+val reclaims : t -> int
+val yields : t -> int
+val ticks : t -> int
+val charged_ns : t -> Time.t
+val degradations : t -> int
+val quarantines : t -> int
+val releases : t -> int
+val crashes : t -> int
+
+val events : t -> event list
+(** The bounded event log (most recent 4096), oldest first. *)
+
+val health_name : health -> string
+val action_name : action -> string
+
+val register_metrics :
+  t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit
+(** Pull-based [skyloft_broker_*] metrics; attaching a registry cannot
+    perturb the control loop. *)

@@ -117,7 +117,8 @@ and assign t w (task : Task.t) =
   dispatcher_do t t.mech.dispatch_cost (fun () -> start_on t w task)
 
 and try_next t w =
-  if (not w.reserved) && w.ex.Rc.current = None then begin
+  if (not w.reserved) && w.ex.Rc.current = None && not (Rc.unit_capped t.rc w.ex)
+  then begin
     match
       Rc.next_live t.rc (fun () ->
           t.rc.Rc.policy.task_dequeue ~cpu:w.ex.Rc.exec_core)
@@ -244,6 +245,45 @@ let set_be_allowance t n =
   end
   else if n > old then Array.iter (fun w -> try_next t w) t.workers
 
+(* Preempt whatever runs on [w] — LC or BE — because the broker capped the
+   worker out; the refugee requeues at the dispatcher (LC) or BE queue
+   head.  Rides the same send/deliver path as quantum preemption, so IPI
+   faults apply and [try_next]'s gate keeps the worker empty afterwards. *)
+let preempt_capped_worker t w =
+  match w.ex.Rc.current with
+  | Some task when w.ex.Rc.completion <> None ->
+      let gen = w.gen in
+      if Rc.is_be t.rc task then
+        t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1
+      else t.rc.Rc.preempts <- t.rc.Rc.preempts + 1;
+      dispatcher_do t t.mech.preempt_send (fun () ->
+          deliver_preempt t w gen ~requeue:(fun task ->
+              if Rc.is_be t.rc task then Runqueue.push_head t.rc.Rc.be_queue task
+              else
+                t.rc.Rc.policy.task_enqueue ~cpu:t.dispatcher_core
+                  ~reason:Sched_ops.Enq_preempted task))
+  | _ -> ()
+
+(* The machine-level broker's reclaim/grant muscle: how many workers this
+   runtime may occupy at all ({!set_be_allowance} one level up; allowed
+   workers are always the creation-order prefix).  Shrinking preempts the
+   newly capped workers; an assignment already in flight toward one still
+   runs its segment there — enforcement happens at the next scheduling
+   point, exactly like a quantum.  Growing redrives dispatch over the
+   workers handed back. *)
+let set_core_allowance t n =
+  let old = t.rc.Rc.core_allowance in
+  Rc.set_core_allowance t.rc n;
+  let n = t.rc.Rc.core_allowance in
+  if n < old then
+    Array.iter
+      (fun w -> if Rc.unit_capped t.rc w.ex then preempt_capped_worker t w)
+      t.workers
+  else if n > old then Array.iter (fun w -> try_next t w) t.workers
+
+let core_allowance t = t.rc.Rc.core_allowance
+let congestion t = Rc.congestion t.rc
+
 (* ---- construction -------------------------------------------------------- *)
 
 let create machine kmod ~dispatcher_core ~worker_cores ~quantum
@@ -342,7 +382,9 @@ let pump t =
     if queue_length t > 0 then
       match
         Array.to_list t.workers
-        |> List.find_opt (fun w -> w.ex.Rc.current = None && not w.reserved)
+        |> List.find_opt (fun w ->
+               w.ex.Rc.current = None && (not w.reserved)
+               && not (Rc.unit_capped t.rc w.ex))
       with
       | Some w ->
           try_next t w;

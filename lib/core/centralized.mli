@@ -123,6 +123,20 @@ val worker_busy_ns : t -> int
 
 val be_preemptions : t -> int
 
+val set_core_allowance : t -> int -> unit
+(** How many workers this runtime may occupy at all: a machine-level core
+    broker's grant.  Allowed workers are the creation-order prefix.
+    Shrinking preempts the newly capped workers over the usual IPI
+    send/deliver path (an assignment already in flight still runs its
+    segment — enforcement at the next scheduling point, like a quantum);
+    growing redrives dispatch.  Default [max_int] disables the gate. *)
+
+val core_allowance : t -> int
+(** The broker's current grant ([max_int] when unbrokered). *)
+
+val congestion : t -> Skyloft_alloc.Allocator.raw
+(** The whole-runtime congestion sample a machine-level broker reads. *)
+
 val watchdog_rescues : t -> int
 (** Stuck workers rescued by the watchdog (see {!create}'s [watchdog]). *)
 

@@ -109,7 +109,8 @@ and assign t u (task : Task.t) =
   dispatcher_do t t.mech.Centralized.dispatch_cost (fun () -> start_on t u task)
 
 and try_next t u =
-  if (not u.reserved) && u.ex.Rc.current = None then begin
+  if (not u.reserved) && u.ex.Rc.current = None && not (Rc.unit_capped t.rc u.ex)
+  then begin
     match
       Rc.next_live t.rc (fun () ->
           t.rc.Rc.policy.task_dequeue ~cpu:u.ex.Rc.exec_core)
@@ -127,7 +128,8 @@ and try_next t u =
 (* Percore-mode scheduling: the worker picks from the shared queue
    synchronously, no dispatcher in the path. *)
 and schedule t u ~prev =
-  if (not u.reserved) && u.ex.Rc.current = None then begin
+  if (not u.reserved) && u.ex.Rc.current = None && not (Rc.unit_capped t.rc u.ex)
+  then begin
     let rc = t.rc in
     let pick () =
       let be_next =
@@ -244,7 +246,9 @@ let pump t =
     if queue_length t > 0 then
       match
         Array.to_list t.units
-        |> List.find_opt (fun u -> u.ex.Rc.current = None && not u.reserved)
+        |> List.find_opt (fun u ->
+               u.ex.Rc.current = None && (not u.reserved)
+               && not (Rc.unit_capped t.rc u.ex))
       with
       | Some u ->
           try_next t u;
@@ -293,6 +297,10 @@ let on_tick t u =
     t.ticks <- t.ticks + 1;
     steal_time t u (Costs.user_timer_receive_ns + Costs.senduipi_sn_ns);
     match (u.ex.Rc.current, u.ex.Rc.completion) with
+    | Some _, Some _ when Rc.unit_capped t.rc u.ex ->
+        (* Broker-capped unit: the tick only enforces the cap (backstop
+           for a run that slipped in around a shrink). *)
+        preempt_now t u
     | Some task, Some _ ->
         if Rc.is_be t.rc task then begin
           if Rc.be_occupancy t.rc > t.rc.Rc.be_allowance then preempt_now t u
@@ -305,7 +313,7 @@ let on_tick t u =
           t.rc.Rc.policy.sched_timer_tick ~cpu:u.ex.Rc.exec_core task
           || (t.quantum > 0 && now t - task.Task.run_start >= t.quantum)
         then preempt_now t u
-    | _ -> kick t u
+    | _ -> if not (Rc.unit_capped t.rc u.ex) then kick t u
   end
 
 (* ---- watchdog: dispatcher failover + stuck-worker rescue ------------------ *)
@@ -391,6 +399,54 @@ let set_be_allowance t n =
         | Central -> try_next t u
         | Percore -> if u.ex.Rc.current = None then kick t u)
       t.units
+
+(* Preempt whatever runs on a broker-capped unit, by whichever mechanism
+   the current mode provides: a dispatcher IPI (central) or a synchronous
+   local preemption with the receive cost charged (percore). *)
+let preempt_capped_unit t u =
+  match u.ex.Rc.current with
+  | Some task when u.ex.Rc.completion <> None -> (
+      match t.mode with
+      | Central ->
+          let gen = u.gen in
+          if Rc.is_be t.rc task then
+            t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1
+          else t.rc.Rc.preempts <- t.rc.Rc.preempts + 1;
+          dispatcher_do t t.mech.Centralized.preempt_send (fun () ->
+              deliver_preempt t u gen ~requeue:(fun task ->
+                  if Rc.is_be t.rc task then
+                    Runqueue.push_head t.rc.Rc.be_queue task
+                  else
+                    t.rc.Rc.policy.task_enqueue ~cpu:t.dispatcher_core
+                      ~reason:Sched_ops.Enq_preempted task))
+      | Percore ->
+          steal_time t u (Costs.uipi_receive_ns ~cross_numa:false);
+          preempt_now t u)
+  | _ -> ()
+
+(* The machine-level broker's reclaim/grant muscle ({!set_be_allowance}
+   one level up; allowed units are always the creation-order prefix).
+   Shrinking preempts the newly capped units; growing redrives dispatch
+   (central) or kicks the units handed back (percore). *)
+let set_core_allowance t n =
+  let old = t.rc.Rc.core_allowance in
+  Rc.set_core_allowance t.rc n;
+  let n = t.rc.Rc.core_allowance in
+  if n < old then
+    Array.iter
+      (fun u -> if Rc.unit_capped t.rc u.ex then preempt_capped_unit t u)
+      t.units
+  else if n > old then
+    Array.iter
+      (fun u ->
+        if not (Rc.unit_capped t.rc u.ex) then
+          match t.mode with
+          | Central -> try_next t u
+          | Percore -> if u.ex.Rc.current = None then kick t u)
+      t.units
+
+let core_allowance t = t.rc.Rc.core_allowance
+let congestion t = Rc.congestion t.rc
 
 (* ---- construction --------------------------------------------------------- *)
 

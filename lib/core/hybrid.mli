@@ -94,6 +94,20 @@ val be_preemptions : t -> int
 val timer_ticks : t -> int
 (** Percore-mode timer interrupts handled. *)
 
+val set_core_allowance : t -> int -> unit
+(** How many workers this runtime may occupy at all: a machine-level core
+    broker's grant.  Allowed units are the creation-order prefix.
+    Shrinking preempts the newly capped units by whichever mechanism the
+    current mode provides (dispatcher IPI or synchronous local
+    preemption); growing redrives dispatch (central) or kicks the units
+    handed back (percore).  Default [max_int] disables the gate. *)
+
+val core_allowance : t -> int
+(** The broker's current grant ([max_int] when unbrokered). *)
+
+val congestion : t -> Skyloft_alloc.Allocator.raw
+(** The whole-runtime congestion sample a machine-level broker reads. *)
+
 val queue_length : t -> int
 val worker_busy_ns : t -> int
 val watchdog_rescues : t -> int

@@ -46,7 +46,7 @@ let cpu_of t core = Hashtbl.find t.by_core core
 
 let is_idle t ~core =
   match Hashtbl.find_opt t.by_core core with
-  | Some cpu -> cpu.ex.Rc.current = None
+  | Some cpu -> cpu.ex.Rc.current = None && not (Rc.unit_capped t.rc cpu.ex)
   | None -> false
 
 let view t = Rc.view t.rc
@@ -55,6 +55,13 @@ let view t = Rc.view t.rc
 
 let rec schedule t cpu ~prev =
   let rc = t.rc in
+  if Rc.unit_capped rc cpu.ex then begin
+    (* The broker took this core: it may not pick anything up.  Queued
+       work is recovered by allowed cores' steals and kicks. *)
+    cpu.ex.Rc.current <- None;
+    cpu.idle_gen <- cpu.idle_gen + 1
+  end
+  else
   let pick () =
     (* Cores inside the allocator's current BE grant belong to BE — they
        dispatch BE work ahead of LC so a guaranteed core cannot be starved
@@ -157,6 +164,29 @@ let kick_core t core = kick t (cpu_of t core)
 let kick_some_idle t =
   match Sched_ops.pick_idle (view t) with Some core -> kick_core t core | None -> ()
 
+(* Evict whatever runs on a broker-capped core: receive cost, depose, then
+   requeue on an allowed core's queue — never the capped core's own, since
+   with the core gone nothing local would drain it — and wake an allowed
+   idle core to pick the refugee up. *)
+let evict_capped t cpu =
+  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
+  | Some _, Some _ ->
+      steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
+      (match Rc.depose t.rc cpu.ex ~overhead:0 with
+      | Some task ->
+          t.rc.Rc.preempts <- t.rc.Rc.preempts + 1;
+          if Rc.is_be t.rc task then begin
+            t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1;
+            Runqueue.push_head t.rc.Rc.be_queue task
+          end
+          else
+            t.rc.Rc.policy.task_enqueue ~cpu:t.cores.(0)
+              ~reason:Sched_ops.Enq_preempted task;
+          schedule t cpu ~prev:(Some task);
+          kick_some_idle t
+      | None -> ())
+  | _ -> ()
+
 (* ---- the global user-interrupt handler (Listing 1) ---------------------- *)
 
 (* Timer-tick scheduling decision.  BE tasks live outside the LC policy:
@@ -167,7 +197,12 @@ let kick_some_idle t =
    allowance is the single arbiter of BE occupancy. *)
 let tick_decision t cpu =
   cpu.last_sched <- now t;
-  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
+  if Rc.unit_capped t.rc cpu.ex then
+    (* Broker-capped core: the tick only enforces the cap (backstop for a
+       task that slipped in around a shrink); it never kicks or picks. *)
+    evict_capped t cpu
+  else
+    match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
   | Some task, Some _ ->
       if Rc.is_be t.rc task then begin
         if Rc.be_occupancy t.rc > t.rc.Rc.be_allowance then preempt_current t cpu
@@ -361,6 +396,29 @@ let set_be_allowance t n =
   end
   else if n > old && not (Runqueue.is_empty t.rc.Rc.be_queue) then
     Array.iter (fun cpu -> if cpu.ex.Rc.current = None then kick t cpu) t.cpus
+
+(* Change how many cores this runtime may occupy at all — the machine-level
+   broker's reclaim/grant muscle, mirroring {!set_be_allowance} one level
+   up.  Shrinking evicts the newly capped units (receive cost charged,
+   refugees requeued on an allowed core); growing kicks the units the
+   broker just handed back. *)
+let set_core_allowance t n =
+  let n = max 0 n in
+  let old = t.rc.Rc.core_allowance in
+  Rc.set_core_allowance t.rc n;
+  if n < old then
+    Array.iter
+      (fun cpu -> if Rc.unit_capped t.rc cpu.ex then evict_capped t cpu)
+      t.cpus
+  else if n > old then
+    Array.iter
+      (fun cpu ->
+        if (not (Rc.unit_capped t.rc cpu.ex)) && cpu.ex.Rc.current = None then
+          kick t cpu)
+      t.cpus
+
+let core_allowance t = t.rc.Rc.core_allowance
+let congestion t = Rc.congestion t.rc
 
 let attach_be_app t ?alloc app ~chunk ~workers =
   Rc.spawn_be_workers t.rc app ~chunk ~workers ~who:"Percpu.attach_be_app";

@@ -84,6 +84,21 @@ val be_preemptions : t -> int
 (** BE tasks preempted (timer ticks with LC work queued + allocator
     reclaims). *)
 
+val set_core_allowance : t -> int -> unit
+(** How many cores this runtime may occupy at all: a machine-level core
+    broker's grant ({!set_be_allowance} one level up).  Allowed cores are
+    always the creation-order prefix.  Shrinking evicts tasks running on
+    newly capped cores (user-IPI receive cost charged, refugees requeued
+    on an allowed core); growing kicks the cores handed back.  The
+    default, [max_int], disables the gate entirely. *)
+
+val core_allowance : t -> int
+(** The broker's current grant ([max_int] when unbrokered). *)
+
+val congestion : t -> Skyloft_alloc.Allocator.raw
+(** The whole-runtime congestion sample a machine-level broker reads:
+    LC probe backlog + BE queue length, oldest LC wait, total busy ns. *)
+
 val spawn :
   t -> App.t -> name:string -> ?cpu:int -> ?arrival:Time.t -> ?service:Time.t ->
   ?record:bool -> ?deadline:Time.t -> ?on_drop:(Task.t -> unit) -> Coro.t ->

@@ -26,6 +26,7 @@ module Attribution = Skyloft_obs.Attribution
    it with their own per-unit extras (kick flags, assignment generations). *)
 type exec = {
   exec_core : int;
+  mutable exec_slot : int;  (* index among d_units; -1 before install *)
   mutable current : Task.t option;
   mutable completion : Eventq.handle option;
   mutable busy_from : Time.t;
@@ -75,6 +76,10 @@ type t = {
   mutable be_app : App.t option;
   be_queue : Runqueue.t;  (* BE work lives here, outside the LC policy *)
   mutable be_allowance : int;  (* units BE tasks may occupy right now *)
+  mutable core_allowance : int;
+      (* units (by slot, a prefix of d_units) this runtime may occupy at
+         all: the machine-level broker's grant.  max_int = uncapped, the
+         single-tenant default — every gate below is then a no-op. *)
   mutable allocator : Allocator.t option;
   rescue_detect : Histogram.t;  (* how late each violation was caught *)
   wakeups : Histogram.t option;  (* wakeup-to-dispatch, when recorded *)
@@ -108,6 +113,7 @@ let create machine kmod ~record_wakeups ~trace_app_switches =
       be_app = None;
       be_queue = Runqueue.create ();
       be_allowance = 0;
+      core_allowance = max_int;
       allocator = None;
       rescue_detect = Histogram.create ();
       wakeups = (if record_wakeups then Some (Histogram.create ()) else None);
@@ -133,6 +139,7 @@ let now t = Engine.now t.engine
 let make_exec core =
   {
     exec_core = core;
+    exec_slot = -1;
     current = None;
     completion = None;
     busy_from = 0;
@@ -142,7 +149,15 @@ let make_exec core =
 
 let install_dispatch t d =
   t.dispatch <- d;
+  Array.iteri (fun i ex -> ex.exec_slot <- i) d.d_units;
   t.be_allowance <- Array.length d.d_units
+
+(* Broker gate: a unit whose slot falls beyond the core allowance may not
+   run anything (its core belongs to another tenant right now).  Allowed
+   units are the d_units prefix, which keeps the mapping deterministic:
+   a grant of [n] cores is always units 0..n-1. *)
+let unit_capped t ex = ex.exec_slot >= t.core_allowance
+let set_core_allowance t n = t.core_allowance <- max 0 n
 
 (* The runtime view handed to policy constructors: derived entirely from
    the DISPATCH units, so it is identical across runtimes. *)
@@ -152,7 +167,8 @@ let view t =
     is_idle =
       (fun core ->
         Array.exists
-          (fun ex -> ex.exec_core = core && ex.current = None)
+          (fun ex ->
+            ex.exec_core = core && ex.current = None && not (unit_capped t ex))
           t.dispatch.d_units);
     now = (fun () -> now t);
   }
@@ -540,6 +556,17 @@ let be_busy_ns t (app : App.t) =
 
 let total_busy_ns t =
   List.fold_left (fun acc app -> acc + app.App.busy_ns) t.daemon.App.busy_ns t.apps
+
+(* The congestion sample a machine-level broker reads for this runtime as
+   a whole: the LC policy probe plus the BE backlog, and total busy time
+   including in-flight segments (the broker arbitrates whole runtimes,
+   not apps). *)
+let congestion t =
+  {
+    Allocator.runq_len = t.probe.Sched_ops.queued () + Runqueue.length t.be_queue;
+    oldest_delay = t.probe.Sched_ops.oldest_wait ();
+    busy_ns = total_busy_ns t + in_flight_busy t ~matches:(fun _ -> true);
+  }
 
 (* ---- BE attachment and the core allocator -------------------------------- *)
 

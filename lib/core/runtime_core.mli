@@ -29,6 +29,7 @@ module Registry = Skyloft_obs.Registry
     generations). *)
 type exec = {
   exec_core : int;
+  mutable exec_slot : int;  (** index among [d_units]; [-1] before install *)
   mutable current : Task.t option;
   mutable completion : Eventq.handle option;
   mutable busy_from : Time.t;
@@ -69,6 +70,10 @@ type t = {
   mutable be_app : App.t option;
   be_queue : Runqueue.t;
   mutable be_allowance : int;
+  mutable core_allowance : int;
+      (** units (a prefix of [d_units], by slot) this runtime may occupy
+          at all: a machine-level core broker's grant.  [max_int] —
+          the single-tenant default — disables every gate. *)
   mutable allocator : Allocator.t option;
   rescue_detect : Histogram.t;
   wakeups : Histogram.t option;
@@ -101,7 +106,18 @@ val now : t -> Time.t
 val make_exec : int -> exec
 
 val install_dispatch : t -> dispatch -> unit
-(** Install the substrate; resets the BE allowance to the unit count. *)
+(** Install the substrate; numbers the unit slots and resets the BE
+    allowance to the unit count. *)
+
+val unit_capped : t -> exec -> bool
+(** Whether the broker gate forbids this unit from running anything: its
+    slot falls beyond {!field-t.core_allowance}.  Allowed units are always
+    the [d_units] prefix, so a grant of [n] cores maps deterministically
+    to units [0..n-1]. *)
+
+val set_core_allowance : t -> int -> unit
+(** Record the broker's grant (clamped at 0).  Pure bookkeeping: evicting
+    tasks already running on newly capped units is the runtime's job. *)
 
 val view : t -> Sched_ops.view
 (** The runtime view handed to policy constructors, derived entirely from
@@ -219,6 +235,11 @@ val in_flight_busy : t -> matches:(int -> bool) -> int
 val lc_busy_ns : t -> int
 val be_busy_ns : t -> App.t -> int
 val total_busy_ns : t -> int
+
+val congestion : t -> Allocator.raw
+(** The whole-runtime congestion sample a machine-level broker reads: LC
+    probe backlog plus BE queue length, oldest LC wait, and total busy
+    nanoseconds including in-flight segments. *)
 
 (** {1 BE attachment and the core allocator} *)
 

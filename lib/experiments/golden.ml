@@ -217,6 +217,11 @@ let fingerprints ?(jobs = 1) () =
                           ~requests:scale_requests ~runtime scenario)) ))
             Scale.runtimes)
         Scale.scenarios
+    @ List.map
+        (fun scenario ->
+          ( "oversub-" ^ scenario,
+            fun () -> digest (Oversub.golden_cell ~scenario) ))
+        Oversub.golden_scenarios
   in
   Parallel.map ~jobs (fun (name, f) -> (name, f ())) cells
 

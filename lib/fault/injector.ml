@@ -6,6 +6,8 @@ module Vectors = Skyloft_hw.Vectors
 module Kmod = Skyloft_kernel.Kmod
 module Nic = Skyloft_net.Nic
 module Trace = Skyloft_stats.Trace
+module Allocator = Skyloft_alloc.Allocator
+module Broker = Skyloft_alloc.Broker
 
 type target = {
   machine : Machine.t;
@@ -133,6 +135,8 @@ let arm t target plans =
     (fun (p : Plan.t) ->
       match p.Plan.spec with
       | Plan.Ipi_loss _ | Plan.Packet_loss _ -> ()
+      | Plan.Tenant_hoard _ | Plan.Tenant_stale _ | Plan.Tenant_crash _ ->
+          invalid_arg "Injector.arm: tenant plans are armed with arm_tenants"
       | Plan.Core_steal { period; duration } ->
           let kmod =
             match target.kmod with
@@ -156,6 +160,76 @@ let arm t target plans =
               poison ~core ~service))
     plans
 
+(* Tenant-level faults live one layer up from the machine: they corrupt
+   (or end) what a tenant tells the machine-level core broker, not what
+   the hardware does.  Armed separately from [arm] because the target is
+   a [Broker.t], and independently of it — a scenario may arm both.  The
+   hoard and stale interceptors are pure functions of the window and the
+   sample stream, and the crash is a single scheduled thunk, so no RNG is
+   drawn: tenant plans keep the fault-free-bit-identical contract. *)
+let arm_tenants t ~broker plans =
+  List.iter
+    (fun (p : Plan.t) ->
+      match p.Plan.spec with
+      | Plan.Tenant_hoard { tenant } ->
+          (* Claim congestion forever: deep queue, old work, and a busy
+             integral that advances by exactly granted-cores x interval
+             every tick — fully utilized, never stale, always hungry.
+             This is the adversary the hoard detector (not the staleness
+             detector) must catch. *)
+          let active = ref false in
+          let busy = ref 0 in
+          Broker.intercept_sample broker ~tenant (fun ~granted raw ->
+              if Plan.active p.Plan.window ~at:(now t) then begin
+                if not !active then begin
+                  active := true;
+                  busy := raw.Allocator.busy_ns;
+                  record t ~kind:"tenant-hoard" ~core:(-1)
+                end;
+                busy := !busy + (granted * Broker.interval broker);
+                {
+                  Allocator.runq_len = 64;
+                  oldest_delay = Time.ms 5;
+                  busy_ns = !busy;
+                }
+              end
+              else begin
+                active := false;
+                raw
+              end)
+      | Plan.Tenant_stale { tenant } ->
+          (* Stop reporting: the sample freezes at the first in-window
+             value, queue pinned non-empty so the frozen signal reads as
+             "work waiting, nothing moving" — the staleness detector's
+             trigger condition. *)
+          let frozen = ref None in
+          Broker.intercept_sample broker ~tenant (fun ~granted:_ raw ->
+              if Plan.active p.Plan.window ~at:(now t) then begin
+                match !frozen with
+                | Some r -> r
+                | None ->
+                    let r =
+                      { raw with Allocator.runq_len = max 1 raw.Allocator.runq_len }
+                    in
+                    frozen := Some r;
+                    record t ~kind:"tenant-stale" ~core:(-1);
+                    r
+              end
+              else begin
+                frozen := None;
+                raw
+              end)
+      | Plan.Tenant_crash { tenant } ->
+          let at = max p.Plan.window.Plan.start (now t) in
+          ignore
+            (Engine.at t.engine at (fun () ->
+                 record t ~kind:"tenant-crash" ~core:(-1);
+                 Broker.crash broker ~tenant))
+      | Plan.Ipi_loss _ | Plan.Core_steal _ | Plan.Poison _
+      | Plan.Packet_loss _ ->
+          invalid_arg "Injector.arm_tenants: not a tenant plan")
+    plans
+
 let injected t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0
 
 let injected_of t ~kind =
@@ -171,6 +245,15 @@ let register_metrics t ?(labels = []) reg =
         ~labels:(labels @ [ ("kind", kind) ])
         "skyloft_fault_injected_kind_total" ~help:"Faults injected by kind"
         (fun () -> injected_of t ~kind))
-    [ "ipi-drop"; "ipi-delay"; "core-steal"; "poison"; "pkt-drop" ]
+    [
+      "ipi-drop";
+      "ipi-delay";
+      "core-steal";
+      "poison";
+      "pkt-drop";
+      "tenant-hoard";
+      "tenant-stale";
+      "tenant-crash";
+    ]
 
 let events t = List.of_seq (Queue.to_seq t.log)

@@ -43,6 +43,18 @@ val arm : t -> target -> Plan.t list -> unit
     [None].  Fault kinds recorded: ["ipi-drop"], ["ipi-delay"],
     ["core-steal"], ["poison"], ["pkt-drop"]. *)
 
+val arm_tenants : t -> broker:Skyloft_alloc.Broker.t -> Plan.t list -> unit
+(** Arm tenant-level plans ([Tenant_hoard], [Tenant_stale],
+    [Tenant_crash]) against a machine-level core {!Skyloft_alloc.Broker}:
+    hoard and stale plans install per-tenant sample interceptors that
+    rewrite what the tenant reports inside their windows (fault kinds
+    ["tenant-hoard"] / ["tenant-stale"], recorded on the activation edge),
+    and crash plans schedule a broker-driven reclamation at window start
+    (["tenant-crash"]).  Independent of {!arm} — a scenario may use both.
+    Tenant plans draw no randomness, preserving the fault-free
+    determinism contract.  Raises [Invalid_argument] on a machine-level
+    plan. *)
+
 val injected : t -> int
 (** Total faults injected so far. *)
 

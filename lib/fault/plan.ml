@@ -23,6 +23,17 @@ type spec =
   | Core_steal of { period : Time.t; duration : Time.t }
   | Poison of { period : Time.t; service : Time.t }
   | Packet_loss of { p_drop : float }
+  (* Tenant-level faults, armed against a machine-level core broker
+     (Injector.arm_tenants) rather than machine hardware: *)
+  | Tenant_hoard of { tenant : int }
+      (* the tenant claims congestion forever: its broker sample reports a
+         deep queue and full utilization regardless of reality *)
+  | Tenant_stale of { tenant : int }
+      (* the tenant stops reporting: its broker sample freezes at the
+         first in-window value (busy never advances) *)
+  | Tenant_crash of { tenant : int }
+      (* the tenant's runtime dies at window start; the broker reclaims
+         every core it held *)
 
 type t = { window : window; spec : spec }
 
@@ -54,9 +65,28 @@ let packet_loss ?(window = always) ~p_drop () =
   if p_drop = 0.0 then invalid_arg "Plan.packet_loss: p_drop must be non-zero";
   { window; spec = Packet_loss { p_drop } }
 
+let check_tenant who tenant =
+  if tenant < 0 then
+    invalid_arg (Printf.sprintf "Plan.%s: tenant must be >= 0" who)
+
+let tenant_hoard ?(window = always) ~tenant () =
+  check_tenant "tenant_hoard" tenant;
+  { window; spec = Tenant_hoard { tenant } }
+
+let tenant_stale ?(window = always) ~tenant () =
+  check_tenant "tenant_stale" tenant;
+  { window; spec = Tenant_stale { tenant } }
+
+let tenant_crash ?(window = always) ~tenant () =
+  check_tenant "tenant_crash" tenant;
+  { window; spec = Tenant_crash { tenant } }
+
 let name t =
   match t.spec with
   | Ipi_loss _ -> "ipi-loss"
   | Core_steal _ -> "core-steal"
   | Poison _ -> "poison"
   | Packet_loss _ -> "packet-loss"
+  | Tenant_hoard _ -> "tenant-hoard"
+  | Tenant_stale _ -> "tenant-stale"
+  | Tenant_crash _ -> "tenant-crash"

@@ -36,6 +36,18 @@ type spec =
           blocking the watchdog must break. *)
   | Packet_loss of { p_drop : float }
       (** Each arriving packet is discarded at the wire with [p_drop]. *)
+  | Tenant_hoard of { tenant : int }
+      (** The tenant claims congestion forever: its broker congestion
+          sample reports a deep queue and full utilization regardless of
+          reality, so its policy keeps demanding cores.  Armed with
+          {!Injector.arm_tenants} against a machine-level core broker. *)
+  | Tenant_stale of { tenant : int }
+      (** The tenant stops reporting: its broker sample freezes at the
+          first in-window value (busy never advances, queue pinned
+          non-empty), tripping the broker's staleness detector. *)
+  | Tenant_crash of { tenant : int }
+      (** The tenant's runtime dies at window start; the broker reclaims
+          every core it held, guaranteed floor included. *)
 
 type t = { window : window; spec : spec }
 
@@ -54,5 +66,9 @@ val ipi_loss :
 val core_steal : ?window:window -> period:Time.t -> duration:Time.t -> unit -> t
 val poison : ?window:window -> period:Time.t -> service:Time.t -> unit -> t
 val packet_loss : ?window:window -> p_drop:float -> unit -> t
+
+val tenant_hoard : ?window:window -> tenant:int -> unit -> t
+val tenant_stale : ?window:window -> tenant:int -> unit -> t
+val tenant_crash : ?window:window -> tenant:int -> unit -> t
 
 val name : t -> string

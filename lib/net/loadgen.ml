@@ -36,9 +36,12 @@ let stream engine ~next emit =
   in
   arm ~now:(Engine.now engine)
 
-let retrying engine ?(budget = 3) ?(backoff = Time.us 100) ~attempt give_up =
+let retrying engine ?(budget = 3) ?(backoff = Time.us 100)
+    ?(max_backoff = Time.ms 10) ~attempt give_up =
   if budget < 1 then invalid_arg "Loadgen.retrying: budget must be >= 1";
   if backoff < 0 then invalid_arg "Loadgen.retrying: backoff must be >= 0";
+  if max_backoff < backoff then
+    invalid_arg "Loadgen.retrying: max_backoff must be >= backoff";
   let rec go k =
     (* One outcome per attempt: a late failure signal after a success (or
        a duplicate callback) must not trigger a spurious retry. *)
@@ -48,7 +51,10 @@ let retrying engine ?(budget = 3) ?(backoff = Time.us 100) ~attempt give_up =
           finished := true;
           if not ok then
             if k + 1 < budget then
-              ignore (Engine.after engine (backoff * (1 lsl k)) (fun () -> go (k + 1)))
+              (* the shift saturates well before it could overflow: past
+                 2^20 the ceiling has long since taken over *)
+              let wait = min max_backoff (backoff * (1 lsl min k 20)) in
+              ignore (Engine.after engine wait (fun () -> go (k + 1)))
             else give_up ()
         end)
   in

@@ -40,17 +40,25 @@ val retrying :
   Engine.t ->
   ?budget:int ->
   ?backoff:Time.t ->
+  ?max_backoff:Time.t ->
   attempt:(int -> (bool -> unit) -> unit) ->
   (unit -> unit) ->
   unit
-(** Client-side retry with exponential backoff: [attempt k done_] issues
-    try number [k] (0-based) and must eventually call [done_ ok] exactly
-    once (extra calls are ignored).  On failure the next try fires after
-    [backoff * 2{^k}] (default 100 µs base), up to [budget] tries total
-    (default 3); when the budget is exhausted [give_up] runs instead —
-    so every request ends in exactly one of success or give-up, never
-    silence.  Used with per-task deadlines to keep request accounting
-    lossless under injected faults. *)
+(** Client-side retry with capped exponential backoff: [attempt k done_]
+    issues try number [k] (0-based) and must eventually call [done_ ok]
+    exactly once (extra calls are ignored).  On failure the next try
+    fires after [min max_backoff (backoff * 2{^k})] (defaults: 100 µs
+    base, 10 ms ceiling), up to [budget] tries total (default 3); when
+    the budget is exhausted [give_up] runs instead — so every request
+    ends in exactly one of success or give-up, never silence.
+
+    The ceiling keeps large budgets sane: without it try 20 would wait
+    100 µs × 2{^20} ≈ 105 s of virtual time (and the shift itself would
+    overflow past try 62).  [max_backoff] must be at least [backoff];
+    the small default budgets never reach the default ceiling, so
+    existing fixed-seed runs are unchanged.  Used with per-task
+    deadlines to keep request accounting lossless under injected
+    faults. *)
 
 val uniform_closed :
   Engine.t ->

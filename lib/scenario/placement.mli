@@ -1,0 +1,128 @@
+module Time = Skyloft_sim.Time
+module Histogram = Skyloft_stats.Histogram
+module Alloc_policy = Skyloft_alloc.Policy
+module Broker = Skyloft_alloc.Broker
+module Plan = Skyloft_fault.Plan
+
+(** Oversubscribed-machine placements: N independent runtime instances
+    (any mix of the three flavours) sharing one simulated machine under a
+    core {!Broker}.
+
+    Each tenant owns a disjoint physical core range sized by its
+    burstable ceiling; the broker's allowance grants decide how much of
+    that range it may occupy at any moment, and the broker capacity is
+    typically smaller than the sum of ceilings — every tenant could
+    burst, not all at once.  Centralized and hybrid tenants get one extra
+    dedicated dispatcher core outside the brokered pool (the Caladan
+    iokernel arrangement: control planes are not traded).
+
+    Requests are issued open-loop per tenant and armed with a per-task
+    deadline plus client-side retry ({!Skyloft_net.Loadgen.retrying}), so
+    even a crashed tenant's accounting is lossless: every submitted
+    request settles as exactly one of completed or gave-up
+    ([{!lost} = 0], the reconciliation invariant the oversub experiment
+    asserts).  Everything is a pure function of the seed: same seed ⇒
+    byte-identical {!digest_string} at any [-j]. *)
+
+type tenant = {
+  name : string;
+  runtime : Scenario.runtime;
+  kind : Alloc_policy.kind;
+      (** broker arbitration class: LC tenants may steal from BE tenants
+          above their floors; BE tenants grow from the free pool only *)
+  guaranteed : int;  (** floor, never reclaimed (except by crash) *)
+  burstable : int;  (** ceiling; also the tenant's physical core range *)
+  shape : Shape.t;
+  arrival : Arrival.t;
+}
+
+val tenant :
+  ?kind:Alloc_policy.kind ->
+  name:string ->
+  runtime:Scenario.runtime ->
+  guaranteed:int ->
+  burstable:int ->
+  shape:Shape.t ->
+  arrival:Arrival.t ->
+  unit ->
+  tenant
+(** Validating constructor (default [kind] LC).  Raises
+    [Invalid_argument] on negative floors, [burstable < max 1 guaranteed],
+    or an invalid shape/arrival. *)
+
+type config = {
+  timer_hz : int;
+  quantum : Time.t;
+  deadline : Time.t;
+      (** per-task kill timer; what keeps a dead tenant's requests from
+          lingering forever *)
+  retry_budget : int;
+  retry_backoff : Time.t;
+  broker : Broker.config;
+}
+
+val default_config : unit -> config
+(** 100 kHz timers, 30 µs quantum, 5 ms deadline, 2 tries with 100 µs
+    base backoff, {!Broker.default_config}. *)
+
+type tenant_result = {
+  t_name : string;
+  t_runtime : string;
+  t_kind : string;
+  t_guaranteed : int;
+  t_burstable : int;
+  submitted : int;
+  completed : int;
+  gave_up : int;  (** retry budget exhausted *)
+  deadline_drops : int;  (** task-level kills (a request may retry past one) *)
+  final_granted : int;
+  final_health : string;
+  core_ns : int;  (** integral of granted cores over time *)
+  latency : Histogram.t;  (** response time of completed requests, ns *)
+}
+
+val lost : tenant_result -> int
+(** [submitted - completed - gave_up]; 0 iff accounting reconciles. *)
+
+type result = {
+  placement : string;
+  capacity : int;
+  target : int;  (** requests per tenant *)
+  last_completion : Time.t;
+  tenants : tenant_result list;  (** registration (list) order *)
+  fairness : float;  (** Jain over floor-normalized core-time integrals *)
+  grants : int;
+  reclaims : int;
+  yields : int;
+  degradations : int;
+  quarantines : int;
+  releases : int;
+  crashes : int;
+  charged_ns : Time.t;
+}
+
+val run :
+  ?seed:int ->
+  ?faults:Plan.t list ->
+  ?config:config ->
+  name:string ->
+  capacity:int ->
+  requests:int ->
+  tenant list ->
+  result
+(** Build the machine, one runtime + app per tenant, register everyone
+    with a fresh broker (initial grant = floor), arm tenant-level fault
+    plans ({!Plan.tenant_hoard} / [tenant_stale] / [tenant_crash]; any
+    machine-level plan raises), then drive every tenant's arrival stream
+    until [requests] requests each have been issued and all of them have
+    settled (bounded drain: a wedged placement returns [lost > 0] rather
+    than hanging).  Raises [Invalid_argument] when floors exceed
+    [capacity], on duplicate names, or an out-of-range fault tenant.
+    Deterministic in [seed] (default 42). *)
+
+val digest_string : result -> string
+(** Canonical deterministic rendering (the oversub goldens are MD5 over
+    this): per-tenant counts, health, core-time and latency summaries,
+    then broker totals and fairness. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -264,6 +264,60 @@ let test_event_log () =
          e.Allocator.app = 2 && e.Allocator.action = Allocator.Reclaimed)
        !events)
 
+(* ---- degradation: mode-transition events alternate with honest times ---- *)
+
+(* The event log must tell the degradation story exactly: one [Degraded]
+   per stale episode, one [Recovered] per thaw, strictly alternating,
+   each stamped with the virtual time of the tick that crossed the edge —
+   not the tick the staleness began, and never a duplicate while the
+   condition persists. *)
+let test_degrade_recover_event_ordering () =
+  let engine = Engine.create () in
+  let modes = ref [] in
+  let alloc =
+    Allocator.create ~engine
+      ~policy:(Policy.delay ())
+      ~interval ~total_cores:4 ~degrade_after:3
+      ~on_event:(fun e ->
+        if e.Allocator.app = -1 then modes := e :: !modes)
+      ()
+  in
+  let frozen = ref true in
+  let busy = ref 0 in
+  Allocator.register alloc ~app:0 ~name:"lc" ~kind:Policy.Lc
+    ~bounds:{ Allocator.guaranteed = 1; burstable = 4 }
+    ~initial:2
+    ~sample:(fun () ->
+      (* work queued, cores granted; zero progress while frozen *)
+      if not !frozen then busy := !busy + Time.us 8;
+      { Allocator.runq_len = 4; oldest_delay = Time.us 20; busy_ns = !busy })
+    ~apply:(fun ~granted:_ ~delta:_ -> 0);
+  let tick_at k =
+    Engine.run ~until:(k * interval) engine;
+    Allocator.tick alloc
+  in
+  (* two full episodes: freeze (ticks 1-3), thaw (4), freeze (5-7), thaw (8) *)
+  for k = 1 to 8 do
+    (match k with 4 -> frozen := false | 5 -> frozen := true | 8 -> frozen := false | _ -> ());
+    tick_at k
+  done;
+  let modes = List.rev !modes in
+  check (Alcotest.list Alcotest.int) "stamped with the edge-crossing tick's time"
+    [ 3 * interval; 4 * interval; 7 * interval; 8 * interval ]
+    (List.map (fun e -> e.Allocator.at) modes);
+  check Alcotest.bool "strictly alternating Degraded/Recovered" true
+    (List.map (fun e -> e.Allocator.action) modes
+    = [ Allocator.Degraded; Allocator.Recovered;
+        Allocator.Degraded; Allocator.Recovered ]);
+  List.iter
+    (fun e ->
+      check Alcotest.int "mode transitions move no cores" 0 e.Allocator.delta;
+      check Alcotest.string "allocator-wide event" "allocator" e.Allocator.app_name)
+    modes;
+  check Alcotest.int "one degradation counted per episode" 2
+    (Allocator.degradations alloc);
+  check Alcotest.bool "ends recovered" false (Allocator.degraded alloc)
+
 let suite =
   [
     Alcotest.test_case "alloc: registration bounds" `Quick test_register_validates;
@@ -280,4 +334,6 @@ let suite =
     Alcotest.test_case "alloc: periodic loop + timeseries" `Quick
       test_periodic_loop_and_series;
     Alcotest.test_case "alloc: event log" `Quick test_event_log;
+    Alcotest.test_case "alloc: degrade/recover event ordering" `Quick
+      test_degrade_recover_event_ordering;
   ]

@@ -94,6 +94,11 @@ let golden =
     ("scale-tenant-mix-percpu", "408a0b03939892f7614a351acfb2b035");
     ("scale-tenant-mix-centralized", "2bf6238e0d5777cc0a9883bdaf7a50e7");
     ("scale-tenant-mix-hybrid", "73d3dfbb760010794372732c471ab1d4");
+    (* oversub cells: a 4-tenant mixed-runtime placement under the core
+       broker, fault-free / hoarding / crashing tenant 0 *)
+    ("oversub-none", "0c18ff2fab464b7e911e3febf02a372c");
+    ("oversub-hoard", "d43273295d3200cb97817e190973274b");
+    ("oversub-crash", "b79f3b409d26f6d02c09755c087ffdbe");
   ]
 
 let check_golden got =

@@ -108,6 +108,35 @@ let test_retrying_gives_up_with_exponential_backoff () =
     (List.rev !tries);
   check int "give-up after the last failed try" (Time.us 300) !gave_up_at
 
+let test_retrying_backoff_ceiling () =
+  let engine = Engine.create () in
+  let tries = ref [] in
+  Loadgen.retrying engine ~budget:6 ~backoff:(Time.us 100)
+    ~max_backoff:(Time.us 400)
+    ~attempt:(fun k done_ ->
+      tries := (k, Engine.now engine) :: !tries;
+      done_ false)
+    (fun () -> ());
+  Engine.run engine;
+  (* doubles 100 -> 200, then the 400us ceiling holds every later wait *)
+  check (list (pair int int)) "backoff saturates at the ceiling"
+    [
+      (0, 0);
+      (1, Time.us 100);
+      (2, Time.us 300);
+      (3, Time.us 700);
+      (4, Time.us 1100);
+      (5, Time.us 1500);
+    ]
+    (List.rev !tries);
+  check_raises "ceiling below the base rejected"
+    (Invalid_argument "Loadgen.retrying: max_backoff must be >= backoff")
+    (fun () ->
+      Loadgen.retrying engine ~backoff:(Time.us 100)
+        ~max_backoff:(Time.us 50)
+        ~attempt:(fun _ done_ -> done_ true)
+        (fun () -> ()))
+
 let test_retrying_done_idempotent () =
   let engine = Engine.create () in
   let outcomes = ref 0 in
@@ -132,10 +161,37 @@ let test_plan_validation () =
   check_raises "core_steal with zero period"
     (Invalid_argument "Plan.core_steal: period must be positive") (fun () ->
       ignore (Plan.core_steal ~period:0 ~duration:(Time.us 10) ()));
+  check_raises "tenant plan with a negative tenant"
+    (Invalid_argument "Plan.tenant_hoard: tenant must be >= 0") (fun () ->
+      ignore (Plan.tenant_hoard ~tenant:(-1) ()));
   let w = Plan.window ~start:(Time.us 10) ~stop:(Time.us 20) () in
   check bool "window active inside" true (Plan.active w ~at:(Time.us 15));
   check bool "window half-open at stop" false (Plan.active w ~at:(Time.us 20));
   check bool "window expired past stop" true (Plan.expired w ~at:(Time.us 20))
+
+(* Degenerate windows are rejected at construction, not discovered later
+   as a plan that silently never fires (or always fires). *)
+let test_window_validation () =
+  check_raises "empty window (stop = start)"
+    (Invalid_argument "Plan.window: stop must be after start") (fun () ->
+      ignore (Plan.window ~start:(Time.us 10) ~stop:(Time.us 10) ()));
+  check_raises "inverted window (stop < start)"
+    (Invalid_argument "Plan.window: stop must be after start") (fun () ->
+      ignore (Plan.window ~start:(Time.us 10) ~stop:(Time.us 5) ()));
+  check_raises "negative start"
+    (Invalid_argument "Plan.window: start must be >= 0") (fun () ->
+      ignore (Plan.window ~start:(-1) ()));
+  check_raises "stop before time zero"
+    (Invalid_argument "Plan.window: stop must be after start") (fun () ->
+      ignore (Plan.window ~stop:0 ()));
+  (* the open-ended and instantaneous-start forms remain legal *)
+  let w = Plan.window () in
+  check bool "default window is always" true (Plan.active w ~at:0);
+  check bool "default window never expires" false
+    (Plan.expired w ~at:max_int);
+  let w1 = Plan.window ~stop:1 () in
+  check bool "one-tick window active at 0" true (Plan.active w1 ~at:0);
+  check bool "one-tick window over at 1" true (Plan.expired w1 ~at:1)
 
 (* ---- injector: IPI drops reach the machine hook ---- *)
 
@@ -423,8 +479,10 @@ let suite =
     test_case "retrying: succeeds after retry" `Quick test_retrying_succeeds_after_retry;
     test_case "retrying: exponential backoff, give-up" `Quick
       test_retrying_gives_up_with_exponential_backoff;
+    test_case "retrying: backoff ceiling" `Quick test_retrying_backoff_ceiling;
     test_case "retrying: done_ idempotent" `Quick test_retrying_done_idempotent;
     test_case "plan: validation and windows" `Quick test_plan_validation;
+    test_case "plan: degenerate windows rejected" `Quick test_window_validation;
     test_case "injector: IPI drop" `Quick test_injector_ipi_drop;
     test_case "nic: injected wire loss" `Quick test_nic_loss;
     test_case "percpu: watchdog rescue" `Quick test_percpu_watchdog_rescue;

@@ -6,6 +6,7 @@ let () =
       ("hw", Test_hw.suite);
       ("kernel", Test_kernel.suite);
       ("alloc", Test_alloc.suite);
+      ("broker", Test_broker.suite);
       ("core", Test_core.suite);
       ("runtime_core", Test_runtime_core.suite);
       ("net", Test_net.suite);

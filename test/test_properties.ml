@@ -178,6 +178,134 @@ let prop_histogram_shard_merge =
            [ 0.0; 25.0; 50.0; 90.0; 99.0; 99.9; 100.0 ]
       && Histogram.mean merged = Histogram.mean central)
 
+(* ---- Broker conservation ---------------------------------------------- *)
+
+module Policy = Skyloft_alloc.Policy
+module Allocator = Skyloft_alloc.Allocator
+module Broker = Skyloft_alloc.Broker
+
+(* Random fleets under random abuse: tenants with random bounds and
+   policies, driven by a random script of behaviour flips (congest, go
+   idle, freeze the signal, thaw, crash).  After every tick the
+   conservation invariants must hold from the outside — grants within the
+   machine, every live tenant between its floor and ceiling, crashed
+   tenants at zero, fairness a valid Jain index — on top of the broker's
+   own internal [check_invariants] (which raises out of the property if
+   it ever disagrees). *)
+
+(* A fleet is (capacity, tenants, script): each tenant is (floor,
+   headroom, lc?, policy#); each script step is (tenant#, behaviour#). *)
+let broker_fleet_gen =
+  QCheck.(
+    triple (int_range 2 16)
+      (list_of_size (Gen.int_range 1 6)
+         (quad (int_range 0 2) (int_range 0 4) bool (int_range 0 2)))
+      (list_of_size (Gen.int_range 20 80)
+         (pair (int_range 0 5) (int_range 0 4))))
+
+type tenant_state = {
+  mutable congested : bool;
+  mutable frozen : bool;
+  mutable busy : int;
+}
+
+let prop_broker_conserves_cores =
+  QCheck.Test.make ~name:"broker: conservation under random fleets and faults"
+    ~count:60 broker_fleet_gen
+    (fun (capacity, tenant_specs, script) ->
+      QCheck.assume (tenant_specs <> []);
+      let engine = Engine.create () in
+      let interval = Time.us 5 in
+      let config =
+        (* tight knobs so short scripts can actually cross the edges *)
+        {
+          Broker.interval;
+          degrade_after = 3;
+          hoard_cap = 5;
+          hoard_decay = 1;
+          quarantine_ticks = 6;
+        }
+      in
+      let broker = Broker.create ~engine ~capacity ~config () in
+      (* clamp floors so the sum of initial grants fits the machine *)
+      let remaining = ref capacity in
+      let tenants =
+        List.mapi
+          (fun i (g_raw, extra, lc, p) ->
+            let g = min g_raw !remaining in
+            remaining := !remaining - g;
+            let bounds =
+              { Allocator.guaranteed = g; burstable = min capacity (g + extra) }
+            in
+            let st = { congested = false; frozen = false; busy = 0 } in
+            let policy =
+              match p with
+              | 0 -> Policy.static ()
+              | 1 -> Policy.delay ()
+              | _ -> Policy.utilization ()
+            in
+            (* tracked via [apply]: [sample] runs once during registration,
+               before the tenant is queryable through the broker *)
+            let my_grant = ref g in
+            Broker.register broker ~tenant:i
+              ~name:(Printf.sprintf "t%d" i)
+              ~kind:(if lc then Policy.Lc else Policy.Be)
+              ~policy ~bounds ~initial:g
+              ~sample:(fun () ->
+                if st.congested && not st.frozen then
+                  st.busy <- st.busy + (max 1 !my_grant * interval);
+                if st.frozen then
+                  { Allocator.runq_len = 2; oldest_delay = Time.us 15;
+                    busy_ns = st.busy }
+                else if st.congested then
+                  { Allocator.runq_len = 4; oldest_delay = Time.us 20;
+                    busy_ns = st.busy }
+                else
+                  { Allocator.runq_len = 0; oldest_delay = 0; busy_ns = st.busy })
+              ~apply:(fun ~granted ~delta:_ ->
+                my_grant := granted;
+                0);
+            (i, bounds, st))
+          tenant_specs
+      in
+      let n = List.length tenants in
+      let holds = ref true in
+      let check_outside () =
+        let total =
+          List.fold_left
+            (fun acc (i, _, _) -> acc + Broker.granted broker ~tenant:i)
+            0 tenants
+        in
+        if total > capacity then holds := false;
+        if Broker.free_cores broker <> capacity - total then holds := false;
+        List.iter
+          (fun (i, bounds, _) ->
+            let g = Broker.granted broker ~tenant:i in
+            match Broker.health broker ~tenant:i with
+            | Broker.Crashed -> if g <> 0 then holds := false
+            | _ ->
+                if g < bounds.Allocator.guaranteed
+                   || g > bounds.Allocator.burstable
+                then holds := false)
+          tenants;
+        let f = Broker.fairness broker in
+        if not (f > 0.0 && f <= 1.0 +. 1e-9) then holds := false
+      in
+      List.iteri
+        (fun k (who, behaviour) ->
+          let _, _, st = List.nth tenants (who mod n) in
+          (match behaviour with
+          | 0 -> st.congested <- true
+          | 1 -> st.congested <- false
+          | 2 -> st.frozen <- true
+          | 3 -> st.frozen <- false
+          | _ -> Broker.crash broker ~tenant:(who mod n));
+          Engine.run ~until:((k + 1) * interval) engine;
+          Broker.tick broker;
+          check_outside ())
+        script;
+      !holds)
+
 let suite =
   List.concat_map
     (fun policy ->
@@ -193,4 +321,5 @@ let suite =
       qtest prop_fifo_never_preempts;
       qtest prop_centralized_all_complete;
       qtest prop_histogram_shard_merge;
+      qtest prop_broker_conserves_cores;
     ]
