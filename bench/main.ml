@@ -408,6 +408,61 @@ let bench_core_hybrid () =
       ignore
         (Skyloft.Hybrid.submit rt lc ~name:"r" ~record:false (core_request ())))
 
+(* The same three loops with the flight recorder attached: every span and
+   scheduling instant is recorded into the flat binary ring, so the delta
+   against the untraced numbers is the full tracing tax.  The ring is
+   created once per bench and reused across iterations (the realistic
+   deployment: one long-lived recorder, wrapping), so the measured tax
+   is the push cost itself — a handful of unboxed word stores per
+   event — not ring setup. *)
+let core_traced bench_with_trace =
+  let trace = Trace.create ~capacity:100_000 () in
+  fun () -> bench_with_trace trace
+
+let bench_core_percpu_traced =
+  core_traced (fun trace ->
+      let engine, machine, kmod = core_small_machine () in
+      let rt =
+        Skyloft.Percpu.create machine kmod
+          ~cores:[ 0; 1; 2; 3; 4 ]
+          (Skyloft_policies.Work_stealing.create ~quantum:(Time'.us 30) ())
+      in
+      Skyloft.Percpu.set_trace rt trace;
+      let lc = Skyloft.Percpu.create_app rt ~name:"lc" in
+      core_drive engine (fun () ->
+          ignore
+            (Skyloft.Percpu.spawn rt lc ~name:"r" ~record:false (core_request ()))))
+
+let bench_core_centralized_traced =
+  core_traced (fun trace ->
+      let engine, machine, kmod = core_small_machine () in
+      let rt =
+        Skyloft.Centralized.create machine kmod ~dispatcher_core:0
+          ~worker_cores:[ 1; 2; 3; 4 ] ~quantum:(Time'.us 30)
+          (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+      in
+      Skyloft.Centralized.set_trace rt trace;
+      let lc = Skyloft.Centralized.create_app rt ~name:"lc" in
+      core_drive engine (fun () ->
+          ignore
+            (Skyloft.Centralized.submit rt lc ~name:"r" ~record:false
+               (core_request ()))))
+
+let bench_core_hybrid_traced =
+  core_traced (fun trace ->
+      let engine, machine, kmod = core_small_machine () in
+      let rt =
+        Skyloft.Hybrid.create machine kmod ~dispatcher_core:0
+          ~worker_cores:[ 1; 2; 3; 4 ] ~quantum:(Time'.us 30)
+          (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+      in
+      Skyloft.Hybrid.set_trace rt trace;
+      let lc = Skyloft.Hybrid.create_app rt ~name:"lc" in
+      core_drive engine (fun () ->
+          ignore
+            (Skyloft.Hybrid.submit rt lc ~name:"r" ~record:false
+               (core_request ()))))
+
 let core_runtime_names = [ "percpu"; "centralized"; "hybrid" ]
 
 let core_tests =
@@ -416,6 +471,80 @@ let core_tests =
       Test.make ~name:"percpu" (Staged.stage bench_core_percpu);
       Test.make ~name:"centralized" (Staged.stage bench_core_centralized);
       Test.make ~name:"hybrid" (Staged.stage bench_core_hybrid);
+      Test.make ~name:"percpu-traced" (Staged.stage bench_core_percpu_traced);
+      Test.make ~name:"centralized-traced"
+        (Staged.stage bench_core_centralized_traced);
+      Test.make ~name:"hybrid-traced" (Staged.stage bench_core_hybrid_traced);
+    ]
+
+(* ---- trace push: flat ring vs the boxed representation ------------------- *)
+
+(* The re-backing's scoreboard at event granularity.  [Boxed_trace] is a
+   faithful reimplementation of the representation the flight recorder
+   replaced — one heap-allocated constructor per event stored into an
+   [event option array], paying allocation, the write barrier on every
+   ring store, and promotion of every retained event out of the minor
+   heap.  The flat ring pays eight unsafe byte stores into preallocated
+   [Bytes] and an interning memo hit.  Both push the identical event
+   stream over a wrapping ring. *)
+module Boxed_trace = struct
+  type event =
+    | Span of { core : int; app : int; name : string; start : int; stop : int }
+    | Instant of { core : int; at : int; kind : int; name : string }
+
+  type t = {
+    capacity : int;
+    ring : event option array;
+    mutable head : int;
+    mutable count : int;
+    mutable dropped : int;
+  }
+
+  let create ~capacity =
+    { capacity; ring = Array.make capacity None; head = 0; count = 0; dropped = 0 }
+
+  let push t ev =
+    t.ring.(t.head) <- Some ev;
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.count = t.capacity then t.dropped <- t.dropped + 1
+    else t.count <- t.count + 1
+
+  let span t ~core ~app ~name ~start ~stop =
+    push t (Span { core; app; name; start; stop })
+
+  let instant t ~core ~at ~kind ~name = push t (Instant { core; at; kind; name })
+end
+
+let trace_events_per_run = 10_000
+let trace_ring_capacity = 4_096  (* smaller than the stream: wrap included *)
+
+let bench_trace_flat () =
+  let t = Skyloft_stats.Trace.create ~capacity:trace_ring_capacity () in
+  for i = 0 to trace_events_per_run - 1 do
+    if i land 3 = 3 then
+      Skyloft_stats.Trace.instant t ~core:(i land 7) ~at:(i * 50)
+        Skyloft_stats.Trace.Preempt ~name:"tick"
+    else
+      Skyloft_stats.Trace.span t ~core:(i land 7) ~app:1 ~name:"req"
+        ~start:(i * 50)
+        ~stop:((i * 50) + 40)
+  done
+
+let bench_trace_boxed () =
+  let t = Boxed_trace.create ~capacity:trace_ring_capacity in
+  for i = 0 to trace_events_per_run - 1 do
+    if i land 3 = 3 then
+      Boxed_trace.instant t ~core:(i land 7) ~at:(i * 50) ~kind:0 ~name:"tick"
+    else
+      Boxed_trace.span t ~core:(i land 7) ~app:1 ~name:"req" ~start:(i * 50)
+        ~stop:((i * 50) + 40)
+  done
+
+let trace_push_tests =
+  Test.make_grouped ~name:"trace-push"
+    [
+      Test.make ~name:"flat" (Staged.stage bench_trace_flat);
+      Test.make ~name:"boxed" (Staged.stage bench_trace_boxed);
     ]
 
 let bench_core_json_path = "BENCH_core.json"
@@ -429,24 +558,60 @@ let print_core_bench () =
     /. float_of_int core_requests_per_run
   in
   E.Report.table
-    ~header:[ "runtime"; "ns per request (this host)" ]
+    ~header:
+      [ "runtime"; "ns per request"; "ns per request (traced)"; "tracing tax" ]
     (List.map
-       (fun name -> [ name; Printf.sprintf "%.0f" (per_req name) ])
+       (fun name ->
+         let plain = per_req name and traced = per_req (name ^ "-traced") in
+         [
+           name;
+           Printf.sprintf "%.0f" plain;
+           Printf.sprintf "%.0f" traced;
+           Printf.sprintf "%+.0f%%" ((traced -. plain) /. plain *. 100.);
+         ])
        core_runtime_names);
   E.Report.note "all three runtimes share the Runtime_core lifecycle substrate;";
   E.Report.note "the spread is each dispatch mechanism's cost on top of it";
+  let push_results = run_bench trace_push_tests in
+  let per_event name =
+    estimate push_results (Printf.sprintf "trace-push/%s" name)
+    /. float_of_int trace_events_per_run
+  in
+  let flat = per_event "flat" and boxed = per_event "boxed" in
+  E.Report.table
+    ~header:[ "trace backend"; "ns per event (this host)" ]
+    [
+      [ "flat 64B binary ring"; Printf.sprintf "%.1f" flat ];
+      [ "boxed ring (replaced)"; Printf.sprintf "%.1f" boxed ];
+    ];
+  E.Report.note
+    "flat push stores 8 unboxed words into a preallocated Bigarray ring: \
+     zero allocation, no write barrier — %.1fx the boxed representation it \
+     replaced"
+    (boxed /. flat);
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"requests_per_run\": %d,\n" core_requests_per_run);
-  Buffer.add_string buf "  \"ns_per_request\": {\n";
-  List.iteri
-    (fun i name ->
-      Buffer.add_string buf
-        (Printf.sprintf "    %S: %.1f%s\n" name (per_req name)
-           (if i = List.length core_runtime_names - 1 then "" else ",")))
-    core_runtime_names;
-  Buffer.add_string buf "  }\n}\n";
+  let obj key names value_of =
+    Buffer.add_string buf (Printf.sprintf "  %S: {\n" key);
+    List.iteri
+      (fun i name ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %S: %.1f%s\n" name (value_of name)
+             (if i = List.length names - 1 then "" else ",")))
+      names;
+    Buffer.add_string buf "  },\n"
+  in
+  obj "ns_per_request" core_runtime_names per_req;
+  obj "ns_per_request_traced" core_runtime_names (fun n ->
+      per_req (n ^ "-traced"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"trace_ns_per_event\": { \"flat\": %.1f, \"boxed_reference\": \
+        %.1f, \"speedup\": %.2f }\n"
+       flat boxed (boxed /. flat));
+  Buffer.add_string buf "}\n";
   let oc = open_out bench_core_json_path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -767,6 +932,13 @@ let () =
   Printf.printf "(simulated duration per data point: %s; seed %d)\n"
     (Format.asprintf "%a" Skyloft_sim.Time.pp config.E.Config.duration)
     config.E.Config.seed;
+
+  (* SKYLOFT_BENCH_ONLY=core: just the dispatch-loop + trace-push
+     microbenches and BENCH_core.json (the flight-recorder scoreboard). *)
+  if Sys.getenv_opt "SKYLOFT_BENCH_ONLY" = Some "core" then begin
+    print_core_bench ();
+    exit 0
+  end;
 
   (* Microbenchmarks (real code measured on this host). *)
   print_table7_measured ();

@@ -115,6 +115,30 @@ let all_cmd config =
 let cmd_of (name, doc, run) =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ config_term)
 
+(* trace-dump takes a file, not a Config: decode a flight-recorder binary
+   image (e.g. the obs_trace_machine.bin obs-report writes), print the
+   census and event lines, and re-verify the trace invariants offline. *)
+let trace_dump_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Flight-recorder binary image (Trace.write_binary output).")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Print at most $(docv) event lines (0 = all).")
+  in
+  let run path limit = ignore (E.Trace_dump.dump ~path ~limit) in
+  Cmd.v
+    (Cmd.info "trace-dump"
+       ~doc:"Decode and verify a flight-recorder binary trace image")
+    Term.(const run $ path $ limit)
+
 let () =
   let default = Term.(const all_cmd $ config_term) in
   let info =
@@ -123,6 +147,7 @@ let () =
   in
   let cmds =
     List.map cmd_of experiments
-    @ [ Cmd.v (Cmd.info "all" ~doc:"Run every experiment") default ]
+    @ [ Cmd.v (Cmd.info "all" ~doc:"Run every experiment") default;
+        trace_dump_cmd ]
   in
   exit (Cmd.eval (Cmd.group ~default info cmds))

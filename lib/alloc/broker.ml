@@ -90,6 +90,8 @@ type t = {
   capacity : int;  (* the machine's brokered core pool *)
   cfg : config;
   on_event : event -> unit;
+  mutable trace : Skyloft_stats.Trace.t option;
+  mutable core_of_tenant : int -> int;
   mutable tenants : binding list;  (* registration order — the iteration
                                       order everywhere, for determinism *)
   event_log : event Queue.t;
@@ -125,6 +127,8 @@ let create ~engine ~capacity ?(config = default_config ())
     capacity;
     cfg = config;
     on_event;
+    trace = None;
+    core_of_tenant = (fun id -> id);
     tenants = [];
     event_log = Queue.create ();
     grants = 0;
@@ -188,9 +192,35 @@ let clear_intercept t ~tenant = (find t tenant).intercept <- None
 
 (* ---- events --------------------------------------------------------------- *)
 
+let set_trace t ?core_of_tenant trace =
+  t.trace <- Some trace;
+  match core_of_tenant with Some f -> t.core_of_tenant <- f | None -> ()
+
+(* Broker actions on the shared machine timeline: arbitration instants
+   land on a representative core of the tenant's physical range (the
+   [core_of_tenant] mapping), named after the tenant, so a single
+   Perfetto view attributes cross-tenant interference. *)
+let trace_kind_of_action = function
+  | Grant -> Skyloft_stats.Trace.Broker_grant
+  | Reclaim -> Skyloft_stats.Trace.Broker_reclaim
+  | Yield -> Skyloft_stats.Trace.Broker_yield
+  | Degrade -> Skyloft_stats.Trace.Tenant_degrade
+  | Recover -> Skyloft_stats.Trace.Tenant_recover
+  | Quarantine -> Skyloft_stats.Trace.Quarantine
+  | Release -> Skyloft_stats.Trace.Release
+  | Crash -> Skyloft_stats.Trace.Tenant_crash
+
 let log_event t ev =
   if Queue.length t.event_log >= event_log_cap then ignore (Queue.pop t.event_log);
   Queue.push ev t.event_log;
+  (match t.trace with
+  | Some trace ->
+      Skyloft_stats.Trace.instant trace
+        ~core:(t.core_of_tenant ev.tenant)
+        ~at:ev.at
+        (trace_kind_of_action ev.action)
+        ~name:ev.tenant_name
+  | None -> ());
   t.on_event ev
 
 (* Health transitions move no cores; [delta] records context (e.g. the
@@ -547,6 +577,9 @@ let register_metrics t ?(labels = []) reg =
   Registry.gauge reg ~labels "skyloft_broker_free_cores"
     ~help:"Cores currently in the free pool" (fun () ->
       float_of_int (free_cores t));
+  Registry.gauge reg ~labels "skyloft_broker_capacity"
+    ~help:"Brokered cores in the machine pool" (fun () ->
+      float_of_int t.capacity);
   Registry.gauge reg ~labels "skyloft_broker_fairness"
     ~help:"Jain index over normalized per-tenant core-time" (fun () ->
       fairness t);
@@ -562,6 +595,14 @@ let register_metrics t ?(labels = []) reg =
           | Stale -> 1.0
           | Quarantined -> 2.0
           | Crashed -> 3.0);
+      Registry.gauge reg ~labels:al "skyloft_broker_hoard_score"
+        ~help:"Current hoard score (quarantine at hoard_cap)" (fun () ->
+          float_of_int b.hoard_score);
+      Registry.counter reg ~labels:al
+        ~help:"Integral of granted cores over time"
+        "skyloft_broker_tenant_core_ns_total" (fun () ->
+          settle_core_ns t b;
+          b.core_ns);
       Registry.series reg ~labels:al "skyloft_broker_granted_series"
         ~help:"Granted core count over time" b.series)
     t.tenants

@@ -98,6 +98,17 @@ val intercept_sample :
 
 val clear_intercept : t -> tenant:int -> unit
 
+val set_trace :
+  t -> ?core_of_tenant:(int -> int) -> Skyloft_stats.Trace.t -> unit
+(** Mirror every broker event onto the flight recorder as a machine-level
+    instant ([Broker_grant]/[Broker_reclaim]/[Broker_yield] for core
+    movements, [Tenant_degrade]/[Tenant_recover], [Quarantine]/[Release]
+    and [Tenant_crash] for health edges), named after the tenant.
+    [core_of_tenant] maps a tenant id to the core the instant lands on —
+    typically the base of the tenant's physical core range (see
+    [Placement]) so arbitration shows up on the right track; defaults to
+    the identity. *)
+
 exception Invariant_violation of string
 
 val check_invariants : t -> unit
@@ -156,5 +167,9 @@ val action_name : action -> string
 
 val register_metrics :
   t -> ?labels:Skyloft_obs.Registry.labels -> Skyloft_obs.Registry.t -> unit
-(** Pull-based [skyloft_broker_*] metrics; attaching a registry cannot
-    perturb the control loop. *)
+(** Pull-based [skyloft_broker_*] metrics: machine-wide counters (grants,
+    reclaims, yields, ticks, charged switch cost, degradations,
+    quarantines, releases, crashes), pool gauges (free cores, capacity,
+    Jain fairness), and per-tenant gauges/series under an [app] label
+    (granted cores, health code, hoard score, core-time integral, granted
+    series).  Attaching a registry cannot perturb the control loop. *)

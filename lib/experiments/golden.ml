@@ -173,6 +173,12 @@ let obs_config =
 let scale_seed = 5
 let scale_requests = 30_000
 
+(* The machine-level obs point: full brokered fleet with all three tenant
+   faults, digest over the machine trace JSON (spans + broker instants +
+   allowance counter tracks) and the placement digest. *)
+let obs_machine_seed = 7
+let obs_machine_requests = 400
+
 (* Every golden is one independent cell; [jobs] fans them across domains.
    The values must be identical at any [jobs] — that invariance, checked
    against the committed digests, is the proof that parallelization is
@@ -204,6 +210,13 @@ let fingerprints ?(jobs = 1) () =
               (Obs_report.run_point obs_config ~runtime ~instrumented:false)
                 .Obs_report.fingerprint ))
         Obs_report.runtimes
+    @ [
+        ( "obs-machine",
+          fun () ->
+            (Obs_report.run_machine_point ~seed:obs_machine_seed
+               ~requests:obs_machine_requests ~instrumented:false)
+              .Obs_report.m_fingerprint );
+      ]
     @ List.concat_map
         (fun scenario ->
           List.map

@@ -23,6 +23,11 @@ module Injector = Skyloft_fault.Injector
 module Registry = Skyloft_obs.Registry
 module Attribution = Skyloft_obs.Attribution
 module Trace_analysis = Skyloft_obs.Trace_analysis
+module Broker = Skyloft_alloc.Broker
+module Scenario = Skyloft_scenario.Scenario
+module Shape = Skyloft_scenario.Shape
+module Arrival = Skyloft_scenario.Arrival
+module Placement = Skyloft_scenario.Placement
 
 (** Observability report: the lib/obs layer exercised end to end on both
     runtimes.
@@ -401,6 +406,274 @@ let check_point p =
     fail "obs-report[%s]: trace busy time differs from accounting by %d ns"
       p.runtime p.busy_delta
 
+(* ---- machine-level observability ------------------------------------------ *)
+
+(* The machine layer under the same discipline: a brokered 4-tenant
+   {!Placement} fleet (mixed runtimes, one BE tenant) shares one flight
+   recorder — every tenant's spans on its physical cores plus the
+   broker's arbitration and health instants on each tenant's base core —
+   while three tenants misbehave in sequence (hoard → quarantine +
+   release, stale → degrade + recover, crash).  The run is performed with
+   and without the registry attached and the fingerprints must match;
+   the trace must satisfy both the structural invariants ({!check}) and
+   the machine-level health-automaton invariants ({!check_machine}), and
+   every broker counter must equal its instant count in the trace — the
+   trace mirror is lossless.  The per-tenant allowance series become
+   Perfetto counter tracks in [obs_trace_machine.json], and the raw ring
+   is written as [obs_trace_machine.bin] for [skyloft_run trace-dump]. *)
+
+let machine_tenants = 4
+let machine_capacity = 8  (* ceilings sum to 16: oversubscribed *)
+let machine_trace_capacity = 500_000
+let machine_lc_rate = 260_000.0
+let machine_lc_shape = Shape.Single (Dist.Exponential { mean = Time.us 5 })
+let machine_be_rate = 50_000.0
+let machine_be_shape = Shape.Single (Dist.Exponential { mean = Time.us 20 })
+
+let machine_runtime i =
+  List.nth [ Scenario.Percpu; Scenario.Centralized; Scenario.Hybrid ] (i mod 3)
+
+let machine_kind i = if i mod 4 = 3 then Alloc_policy.Be else Alloc_policy.Lc
+
+let machine_fleet () =
+  List.init machine_tenants (fun i ->
+      let kind = machine_kind i in
+      let shape, arrival =
+        match kind with
+        | Alloc_policy.Lc ->
+            (machine_lc_shape, Arrival.Poisson { rate_rps = machine_lc_rate })
+        | Alloc_policy.Be ->
+            (machine_be_shape, Arrival.Poisson { rate_rps = machine_be_rate })
+      in
+      Placement.tenant ~kind
+        ~name:
+          (Printf.sprintf "t%d-%s" i
+             (Scenario.runtime_name (machine_runtime i)))
+        ~runtime:(machine_runtime i) ~guaranteed:1 ~burstable:4 ~shape
+        ~arrival ())
+
+(* Aggressive health knobs so every edge fires inside a short run: the
+   hoarder trips quarantine fast and serves a short sentence (several
+   quarantine/release cycles), the stale tenant degrades within 50 µs of
+   freezing and recovers when its window closes. *)
+let machine_placement_config () =
+  {
+    (Placement.default_config ()) with
+    Placement.broker =
+      {
+        (Broker.default_config ()) with
+        Broker.degrade_after = 10;
+        hoard_cap = 10;
+        quarantine_ticks = 100;
+      };
+  }
+
+(* Tenant 0 hoards from 10% of the run on, tenant 1 goes stale over the
+   15–50% window (so recovery is inside the measurement), tenant 2
+   crashes at 60%.  Tenant 3 stays healthy — the hoard detector needs a
+   starving neighbour to call it hoarding. *)
+let machine_faults ~t_ns =
+  let frac f = int_of_float (float_of_int t_ns *. f) in
+  [
+    Plan.tenant_hoard ~window:(Plan.window ~start:(frac 0.1) ()) ~tenant:0 ();
+    Plan.tenant_stale
+      ~window:(Plan.window ~start:(frac 0.15) ~stop:(frac 0.5) ())
+      ~tenant:1 ();
+    Plan.tenant_crash ~window:(Plan.window ~start:(frac 0.6) ()) ~tenant:2 ();
+  ]
+
+type machine_point = {
+  m_instrumented : bool;
+  m_result : Placement.result;
+  m_fingerprint : string;
+  m_trace_json : string;
+  m_binary : string;
+  m_events : int;
+  m_dropped : int;
+  m_violations : Trace_analysis.violation list;
+  m_machine_violations : Trace_analysis.violation list;
+  m_kind_counts : (Trace.instant_kind * int) list;
+  m_samples : Registry.sample list;
+}
+
+let machine_kind_count p kind =
+  match List.assoc_opt kind p.m_kind_counts with Some n -> n | None -> 0
+
+let run_machine_point ~seed ~requests ~instrumented =
+  let t_ns = int_of_float (float_of_int requests /. machine_lc_rate *. 1e9) in
+  let trace = Trace.create ~capacity:machine_trace_capacity () in
+  let registry = if instrumented then Some (Registry.create ()) else None in
+  let r =
+    Placement.run ~seed
+      ~faults:(machine_faults ~t_ns)
+      ~config:(machine_placement_config ())
+      ~trace ?registry ~name:"machine-obs" ~capacity:machine_capacity
+      ~requests (machine_fleet ())
+  in
+  let counters =
+    List.map
+      (fun (t : Placement.tenant_result) ->
+        (t.Placement.t_name ^ " allowance", t.Placement.allowance))
+      r.Placement.tenants
+  in
+  let trace_json = Trace_analysis.to_chrome_json ~counters trace in
+  let kind_counts =
+    Trace.fold trace
+      (fun acc ev ->
+        match ev with
+        | Trace.Instant { kind; _ } ->
+            let n = match List.assoc_opt kind acc with Some n -> n | None -> 0 in
+            (kind, n + 1) :: List.remove_assoc kind acc
+        | Trace.Span _ -> acc)
+      []
+  in
+  {
+    m_instrumented = instrumented;
+    m_result = r;
+    m_fingerprint =
+      Digest.to_hex (Digest.string (trace_json ^ Placement.digest_string r));
+    m_trace_json = trace_json;
+    m_binary = Trace.to_binary trace;
+    m_events = Trace.events trace;
+    m_dropped = Trace.dropped trace;
+    m_violations = Trace_analysis.check trace;
+    m_machine_violations = Trace_analysis.check_machine trace;
+    m_kind_counts = kind_counts;
+    m_samples =
+      (match registry with
+      | Some reg -> Registry.snapshot ~until:r.Placement.last_completion reg
+      | None -> []);
+  }
+
+let check_machine_point p =
+  let r = p.m_result in
+  List.iter
+    (fun t ->
+      if Placement.lost t <> 0 then
+        fail "obs-report[machine]: tenant %s lost %d requests"
+          t.Placement.t_name (Placement.lost t))
+    r.Placement.tenants;
+  if p.m_dropped <> 0 then
+    fail "obs-report[machine]: ring dropped %d events — size it for the run"
+      p.m_dropped;
+  (match p.m_violations with
+  | [] -> ()
+  | v :: _ ->
+      fail "obs-report[machine]: %d structural violations (first: %s)"
+        (List.length p.m_violations)
+        (Format.asprintf "%a" Trace_analysis.pp_violation v));
+  (match p.m_machine_violations with
+  | [] -> ()
+  | v :: _ ->
+      fail "obs-report[machine]: %d machine-invariant violations (first: %s)"
+        (List.length p.m_machine_violations)
+        (Format.asprintf "%a" Trace_analysis.pp_violation v));
+  (* Every health edge fired — the scenario exercises the full automaton. *)
+  if r.Placement.quarantines < 1 then
+    fail "obs-report[machine]: the hoarder was never quarantined";
+  if r.Placement.releases < 1 then
+    fail "obs-report[machine]: no quarantine was released";
+  if r.Placement.degradations < 1 then
+    fail "obs-report[machine]: the stale tenant was never degraded";
+  if machine_kind_count p Trace.Tenant_recover < 1 then
+    fail "obs-report[machine]: the degraded tenant never recovered";
+  if r.Placement.crashes <> 1 then
+    fail "obs-report[machine]: expected exactly 1 crash, saw %d"
+      r.Placement.crashes;
+  (* The trace mirror is lossless: every broker counter equals its
+     instant count in the ring. *)
+  List.iter
+    (fun (kind, counter, label) ->
+      let in_trace = machine_kind_count p kind in
+      if in_trace <> counter then
+        fail "obs-report[machine]: broker counted %d %s, trace holds %d"
+          counter label in_trace)
+    [
+      (Trace.Broker_grant, r.Placement.grants, "grants");
+      (Trace.Broker_reclaim, r.Placement.reclaims, "reclaims");
+      (Trace.Broker_yield, r.Placement.yields, "yields");
+      (Trace.Tenant_degrade, r.Placement.degradations, "degradations");
+      (Trace.Quarantine, r.Placement.quarantines, "quarantines");
+      (Trace.Release, r.Placement.releases, "releases");
+      (Trace.Tenant_crash, r.Placement.crashes, "crashes");
+    ]
+
+let machine_requests_for (config : Config.t) =
+  match config.Config.requests with
+  | Some r -> r
+  | None ->
+      if config.Config.duration <= Config.quick.Config.duration then 400
+      else if config.Config.duration >= Config.full.Config.duration then 2_000
+      else 800
+
+let machine_json_path = "obs_trace_machine.json"
+let machine_bin_path = "obs_trace_machine.bin"
+
+let print_machine (config : Config.t) =
+  let requests = machine_requests_for config in
+  Report.subsection
+    (Printf.sprintf
+       "machine level: %d brokered tenants on %d cores, %d requests each"
+       machine_tenants machine_capacity requests);
+  let points =
+    Parallel.map ~jobs:config.Config.jobs
+      (fun instrumented ->
+        run_machine_point ~seed:config.Config.seed ~requests ~instrumented)
+      [ true; false ]
+  in
+  let on_, off =
+    match points with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  if on_.m_fingerprint <> off.m_fingerprint then
+    fail
+      "obs-report[machine]: registry-on run differs from registry-off run (%s \
+       vs %s) — observation perturbed the simulation"
+      on_.m_fingerprint off.m_fingerprint;
+  check_machine_point on_;
+  let r = on_.m_result in
+  Report.table
+    ~header:
+      [ "tenant"; "runtime"; "kind"; "completed"; "gave up"; "granted";
+        "health"; "core-time (us)" ]
+    (List.map
+       (fun (t : Placement.tenant_result) ->
+         [
+           t.Placement.t_name;
+           t.Placement.t_runtime;
+           t.Placement.t_kind;
+           string_of_int t.Placement.completed;
+           string_of_int t.Placement.gave_up;
+           string_of_int t.Placement.final_granted;
+           t.Placement.final_health;
+           Report.f1 (Time.to_us_float t.Placement.core_ns);
+         ])
+       r.Placement.tenants);
+  Printf.printf
+    "broker: %d grants, %d reclaims, %d yields, %d degradations, %d \
+     quarantines, %d releases, %d crashes — all mirrored 1:1 as trace \
+     instants\n"
+    r.Placement.grants r.Placement.reclaims r.Placement.yields
+    r.Placement.degradations r.Placement.quarantines r.Placement.releases
+    r.Placement.crashes;
+  Printf.printf
+    "trace: %d events retained, %d dropped; structural and machine \
+     invariants hold\n"
+    on_.m_events on_.m_dropped;
+  Printf.printf "registry: %d samples\n" (List.length on_.m_samples);
+  let oc = open_out machine_json_path in
+  output_string oc on_.m_trace_json;
+  close_out oc;
+  Printf.printf "wrote %s (per-tenant allowance counter tracks)\n"
+    machine_json_path;
+  let oc = open_out_bin machine_bin_path in
+  output_string oc on_.m_binary;
+  close_out oc;
+  Printf.printf "wrote %s (decode with: skyloft_run trace-dump %s)\n"
+    machine_bin_path machine_bin_path;
+  Report.note
+    "machine arms were byte-identical with and without the registry attached";
+  on_
+
 let print config =
   Report.section
     (Printf.sprintf
@@ -485,4 +758,5 @@ let print config =
     results;
   Report.note
     "registry-on and registry-off runs were byte-identical per runtime";
+  ignore (print_machine config);
   results

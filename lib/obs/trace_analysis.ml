@@ -138,6 +138,83 @@ let check trace =
       preempts;
   List.rev !violations
 
+(* ---- machine-level invariants ---------------------------------------------- *)
+
+(* Per-tenant health automaton replayed from the broker's instants, keyed
+   by tenant name (the instant payload the broker emits). *)
+type tenant_state = {
+  mutable quarantined : bool;
+  mutable degraded : bool;
+  mutable crashed : bool;
+}
+
+let check_machine trace =
+  let violations = ref [] in
+  let add core at what = violations := { core; at; what } :: !violations in
+  let tenants = Hashtbl.create 8 in
+  let state name =
+    match Hashtbl.find_opt tenants name with
+    | Some s -> s
+    | None ->
+        let s = { quarantined = false; degraded = false; crashed = false } in
+        Hashtbl.replace tenants name s;
+        s
+  in
+  (* Undecidable on a truncated ring: the opening edge of any pair may be
+     among the dropped events. *)
+  if Trace.dropped trace = 0 then
+    Trace.iter trace (fun ev ->
+        match ev with
+        | Trace.Span _ -> ()
+        | Trace.Instant { core; at; kind; name } -> (
+            let machine_kind =
+              match kind with
+              | Trace.Broker_grant | Trace.Broker_reclaim | Trace.Broker_yield
+              | Trace.Tenant_degrade | Trace.Tenant_recover | Trace.Quarantine
+              | Trace.Release | Trace.Tenant_crash ->
+                  true
+              | _ -> false
+            in
+            if machine_kind then begin
+              let s = state name in
+              if s.crashed then
+                add core at
+                  (Printf.sprintf "tenant %s: %s after crash" name
+                     (Trace.kind_name kind));
+              match kind with
+              | Trace.Quarantine ->
+                  if s.quarantined then
+                    add core at
+                      (Printf.sprintf "tenant %s: quarantined twice without release"
+                         name);
+                  s.quarantined <- true
+              | Trace.Release ->
+                  if not s.quarantined then
+                    add core at
+                      (Printf.sprintf "tenant %s: release without quarantine" name);
+                  s.quarantined <- false
+              | Trace.Tenant_degrade ->
+                  if s.degraded then
+                    add core at
+                      (Printf.sprintf "tenant %s: degraded twice without recover"
+                         name);
+                  s.degraded <- true
+              | Trace.Tenant_recover ->
+                  if not s.degraded then
+                    add core at
+                      (Printf.sprintf "tenant %s: recover without degrade" name);
+                  s.degraded <- false
+              | Trace.Tenant_crash -> s.crashed <- true
+              | Trace.Broker_grant ->
+                  (* Quarantined tenants hold no policy say; a grant while
+                     clamped means the broker leaked cores past the clamp. *)
+                  if s.quarantined then
+                    add core at
+                      (Printf.sprintf "tenant %s: grant while quarantined" name)
+              | _ -> ()
+            end));
+  List.rev !violations
+
 (* ---- Perfetto export with counter tracks ---------------------------------- *)
 
 let us t = float_of_int t /. 1_000.0

@@ -42,6 +42,21 @@ val check : Trace.t -> violation list
 
 val pp_violation : Format.formatter -> violation -> unit
 
+val check_machine : Trace.t -> violation list
+(** Machine-level invariants over the broker's instants (per tenant name,
+    replaying the health automaton):
+
+    - [Quarantine]/[Release] strictly alternate — no release without a
+      quarantine, no second quarantine without a release (a run may {e
+      end} quarantined);
+    - [Tenant_degrade]/[Tenant_recover] strictly alternate likewise;
+    - nothing is emitted for a tenant after its [Tenant_crash];
+    - no [Broker_grant] lands on a quarantined tenant (the clamp holds).
+
+    Only checked when the ring dropped nothing — on a truncated trace the
+    opening edge of a pair may be among the dropped events — so size the
+    ring for the run.  Empty when the machine timeline is well-formed. *)
+
 val to_chrome_json : ?counters:(string * Timeseries.t) list -> Trace.t -> string
 (** {!Trace.to_chrome_json} plus one Perfetto counter track (["C"] phase
     events, [pid] 0) per named series — queue depth, per-app core counts.

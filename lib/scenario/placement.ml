@@ -68,7 +68,9 @@ let default_config () =
   }
 
 (* Runtime-neutral surface, one per tenant: submit one deadline-armed
-   task, drive the broker's allowance, report congestion. *)
+   task, drive the broker's allowance, report congestion, and hook the
+   tenant into the machine-wide observability plane (shared flight
+   recorder + pull registry, tenant-labelled). *)
 type rt_iface = {
   rt_submit :
     name:string ->
@@ -79,6 +81,8 @@ type rt_iface = {
   rt_set_allowance : int -> unit;
   rt_congestion : unit -> Allocator.raw;
   rt_deadline_drops : unit -> int;
+  rt_set_trace : Skyloft_stats.Trace.t -> unit;
+  rt_register : Skyloft_obs.Registry.t -> unit;
 }
 
 let make_iface ~machine ~config ~(spec : tenant) ~cores =
@@ -105,6 +109,12 @@ let make_iface ~machine ~config ~(spec : tenant) ~cores =
         rt_set_allowance = Skyloft.Percpu.set_core_allowance rt;
         rt_congestion = (fun () -> Skyloft.Percpu.congestion rt);
         rt_deadline_drops = (fun () -> Skyloft.Percpu.deadline_drops rt);
+        rt_set_trace = Skyloft.Percpu.set_trace rt;
+        rt_register =
+          (fun reg ->
+            Skyloft.Percpu.register_metrics rt
+              ~labels:[ ("tenant", spec.name) ]
+              reg);
       }
   | Scenario.Centralized ->
       let dispatcher_core = List.hd cores and worker_cores = List.tl cores in
@@ -129,6 +139,12 @@ let make_iface ~machine ~config ~(spec : tenant) ~cores =
         rt_set_allowance = Skyloft.Centralized.set_core_allowance rt;
         rt_congestion = (fun () -> Skyloft.Centralized.congestion rt);
         rt_deadline_drops = (fun () -> Skyloft.Centralized.deadline_drops rt);
+        rt_set_trace = Skyloft.Centralized.set_trace rt;
+        rt_register =
+          (fun reg ->
+            Skyloft.Centralized.register_metrics rt
+              ~labels:[ ("tenant", spec.name) ]
+              reg);
       }
   | Scenario.Hybrid ->
       let dispatcher_core = List.hd cores and worker_cores = List.tl cores in
@@ -153,6 +169,12 @@ let make_iface ~machine ~config ~(spec : tenant) ~cores =
         rt_set_allowance = Skyloft.Hybrid.set_core_allowance rt;
         rt_congestion = (fun () -> Skyloft.Hybrid.congestion rt);
         rt_deadline_drops = (fun () -> Skyloft.Hybrid.deadline_drops rt);
+        rt_set_trace = Skyloft.Hybrid.set_trace rt;
+        rt_register =
+          (fun reg ->
+            Skyloft.Hybrid.register_metrics rt
+              ~labels:[ ("tenant", spec.name) ]
+              reg);
       }
 
 type tenant_result = {
@@ -169,6 +191,7 @@ type tenant_result = {
   final_health : string;
   core_ns : int;
   latency : Histogram.t;
+  allowance : Skyloft_stats.Timeseries.t;  (* granted cores over time *)
 }
 
 let lost r = r.submitted - r.completed - r.gave_up
@@ -210,8 +233,8 @@ let pick_branch rng branches =
   in
   go 0.0 branches
 
-let run ?(seed = 42) ?(faults = []) ?(config = default_config ()) ~name
-    ~capacity ~requests tenants =
+let run ?(seed = 42) ?(faults = []) ?(config = default_config ()) ?trace
+    ?registry ~name ~capacity ~requests tenants =
   if tenants = [] then invalid_arg "Placement.run: no tenants";
   if requests < 1 then invalid_arg "Placement.run: requests must be >= 1";
   if capacity < 1 then invalid_arg "Placement.run: capacity must be >= 1";
@@ -297,6 +320,23 @@ let run ?(seed = 42) ?(faults = []) ?(config = default_config ()) ~name
           st.iface.rt_set_allowance granted;
           Costs.app_switch_ns * abs delta))
     states;
+  (* Machine-wide observability plane: one shared flight recorder across
+     every tenant's runtime AND the broker (arbitration instants land on
+     the base core of the tenant's physical range), one pull registry
+     with tenant-labelled runtime metrics.  Both are strictly passive —
+     attaching them must not perturb the simulation (the obs-report
+     experiment asserts fingerprint identity either way). *)
+  let bases = Array.of_list (List.map List.hd ranges) in
+  (match trace with
+  | Some tr ->
+      List.iter (fun st -> st.iface.rt_set_trace tr) states;
+      Broker.set_trace broker ~core_of_tenant:(fun i -> bases.(i)) tr
+  | None -> ());
+  (match registry with
+  | Some reg ->
+      List.iter (fun st -> st.iface.rt_register reg) states;
+      Broker.register_metrics broker reg
+  | None -> ());
   let injector = Injector.create ~engine ~rng:inj_rng () in
   if faults <> [] then Injector.arm_tenants injector ~broker faults;
   Broker.start broker;
@@ -403,6 +443,7 @@ let run ?(seed = 42) ?(faults = []) ?(config = default_config ()) ~name
             final_health = Broker.health_name (Broker.health broker ~tenant:i);
             core_ns = Broker.core_ns broker ~tenant:i;
             latency = st.hist;
+            allowance = Broker.series broker ~tenant:i;
           })
         states;
     fairness = Broker.fairness broker;

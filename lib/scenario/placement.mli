@@ -79,6 +79,9 @@ type tenant_result = {
   final_health : string;
   core_ns : int;  (** integral of granted cores over time *)
   latency : Histogram.t;  (** response time of completed requests, ns *)
+  allowance : Skyloft_stats.Timeseries.t;
+      (** granted cores over time — the broker's per-tenant series, ready
+          to export as a Perfetto counter track *)
 }
 
 val lost : tenant_result -> int
@@ -105,6 +108,8 @@ val run :
   ?seed:int ->
   ?faults:Plan.t list ->
   ?config:config ->
+  ?trace:Skyloft_stats.Trace.t ->
+  ?registry:Skyloft_obs.Registry.t ->
   name:string ->
   capacity:int ->
   requests:int ->
@@ -118,7 +123,16 @@ val run :
     settled (bounded drain: a wedged placement returns [lost > 0] rather
     than hanging).  Raises [Invalid_argument] when floors exceed
     [capacity], on duplicate names, or an out-of-range fault tenant.
-    Deterministic in [seed] (default 42). *)
+    Deterministic in [seed] (default 42).
+
+    [trace] is a shared machine-wide flight recorder: every tenant's
+    runtime records its spans/instants into it (physical core ids, so
+    per-core tracks never interleave across tenants) and the broker
+    mirrors its arbitration and health edges onto the base core of each
+    tenant's range.  [registry] attaches tenant-labelled runtime metrics
+    plus the broker's [skyloft_broker_*] family.  Both are strictly
+    passive: attaching them does not change the simulation (obs-report
+    asserts digest identity with and without). *)
 
 val digest_string : result -> string
 (** Canonical deterministic rendering (the oversub goldens are MD5 over

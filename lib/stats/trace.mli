@@ -1,19 +1,28 @@
 module Time = Skyloft_sim.Time
 
-(** Scheduling trace: a bounded ring of runtime events, exportable as
-    Chrome trace-event JSON (load in [chrome://tracing] or Perfetto).
+(** Scheduling flight recorder: a bounded ring of fixed-width 64-byte
+    binary records in one preallocated flat buffer (a [Bigarray] of
+    unboxed native ints), exportable as Chrome trace-event JSON (load in
+    [chrome://tracing] or Perfetto) or as a self-describing binary
+    image.
 
     The runtimes emit a {e span} for every interval a task spends on a
     core and {e instants} for scheduling events (preemptions, wakeups,
-    application switches).  Tracing is opt-in per runtime and cheap
-    enough to leave on in tests. *)
+    application switches); the machine-level core broker emits instants
+    for its arbitration and tenant-health edges.  Recording performs
+    {e zero allocation} per event: payloads are int-packed into the ring
+    in place (Snabb timeline idiom) and names go through a
+    string-interning side table, so tracing is cheap enough to leave on
+    everywhere — in tests, in the benches, and across million-request
+    runs. *)
 
 type t
 
-(** A retained event: either a run interval of one task on one core, or a
-    point-in-time scheduling event.  Exposed so analysis passes
-    (utilization, invariant checking — see [lib/obs]) can fold over the
-    ring without going through the JSON rendering. *)
+(** A retained event in the {e decode view}: either a run interval of one
+    task on one core, or a point-in-time scheduling event.  The binary
+    ring is the storage; analysis passes (utilization, invariant
+    checking — see [lib/obs]) fold over these decoded values without
+    knowing the layout. *)
 type instant_kind =
   | Preempt  (** the running task was preempted *)
   | Wakeup  (** a blocked task was made runnable *)
@@ -29,13 +38,26 @@ type instant_kind =
   | Alloc_degrade  (** the allocator fell back to its static policy *)
   | Alloc_recover  (** the allocator left degraded mode *)
   | Mode_switch  (** a hybrid runtime changed dispatch mode *)
+  | Broker_grant  (** the machine broker granted cores to a tenant *)
+  | Broker_reclaim  (** the machine broker reclaimed cores from a tenant *)
+  | Broker_yield  (** a tenant voluntarily yielded cores to the broker *)
+  | Tenant_degrade  (** a tenant's congestion signal went stale *)
+  | Tenant_recover  (** a stale tenant's signal moved again *)
+  | Quarantine  (** a hoarding tenant was clamped to its floor *)
+  | Release  (** a quarantined tenant served out its sentence *)
+  | Tenant_crash  (** a tenant crashed; everything reclaimed *)
 
 type event =
   | Span of { core : int; app : int; name : string; start : Time.t; stop : Time.t }
   | Instant of { core : int; at : Time.t; kind : instant_kind; name : string }
 
+val record_bytes : int
+(** Fixed record width: 64 bytes (8 little-endian 8-byte words). *)
+
 val create : ?capacity:int -> unit -> t
-(** Keep at most [capacity] (default 100,000) most recent events. *)
+(** Keep at most [capacity] (default 100,000) most recent events.  The
+    ring is allocated once, up front ([capacity * record_bytes] bytes);
+    recording never allocates again. *)
 
 val span : t -> core:int -> app:int -> name:string -> start:Time.t -> stop:Time.t -> unit
 (** A task ran on [core] from [start] to [stop]. *)
@@ -48,12 +70,15 @@ val events : t -> int
 val dropped : t -> int
 (** Events discarded because the ring was full. *)
 
+val interned : t -> int
+(** Distinct names in the interning side table. *)
+
 val clear : t -> unit
-(** Forget every retained event and reset the drop counter (reuse one
-    ring across runs without reallocating). *)
+(** Forget every retained event, reset the drop counter and the interning
+    table (reuse one ring across runs without reallocating). *)
 
 val iter : t -> (event -> unit) -> unit
-(** Oldest-first iteration over the retained events. *)
+(** Oldest-first iteration, decoding each record into the {!event} view. *)
 
 val fold : t -> ('a -> event -> 'a) -> 'a -> 'a
 
@@ -64,6 +89,10 @@ val escape : string -> string
 (** JSON string-body escaping used by the exports (shared with the
     counter-track export in [lib/obs]). *)
 
+val event_to_string : event -> string
+(** One fixed-width human-readable line per event (the [trace-dump]
+    rendering): timestamp, record class, core, payload, name. *)
+
 val to_chrome_json : t -> string
 (** The retained events in Chrome trace-event array format: spans as
     ["X"] complete events (ts/dur in µs), instants as ["i"]; [pid] is the
@@ -73,3 +102,23 @@ val to_chrome_json : t -> string
     instead of silently incomplete. *)
 
 val write_chrome_json : t -> path:string -> unit
+
+(** {1 Binary image}
+
+    The flat interchange format the [skyloft_run trace-dump] decoder
+    reads: a 64-byte header (magic ["SKYLFTTR"], version, record width,
+    ring geometry, drop count), the interning table, then the retained
+    records oldest-first.  Writing normalizes the ring, so the image is a
+    pure function of the retained events, the drop counter and the
+    interning history — same events, same bytes. *)
+
+val to_binary : t -> string
+
+val of_binary : string -> t
+(** Rebuild a trace from {!to_binary} output.  The result decodes,
+    renders and re-serializes identically to the original.  Raises
+    [Invalid_argument] on a corrupt image (bad magic/version, truncation,
+    out-of-range name ids or kind codes). *)
+
+val write_binary : t -> path:string -> unit
+val read_binary : path:string -> t

@@ -84,6 +84,9 @@ let golden =
     ("obs-report-centralized", "8661815e83e556500087e0615508cdea");
     ("obs-report-percpu", "15d4959e4628708894c4151cdb1e7e1b");
     ("obs-report-hybrid", "2b8295ae9d0b0b633242042411c74f0c");
+    (* machine-level obs point: brokered 4-tenant fleet, shared flight
+       recorder, all three tenant faults — trace JSON + placement digest *)
+    ("obs-machine", "59c8c81378f298210a476e33e62e6b0e");
     (* scenario-DSL cells: 30k requests through the scale compile path *)
     ("scale-steady-pareto-percpu", "628c483b5bb73dd1b04f8169d1a31292");
     ("scale-steady-pareto-centralized", "0fe7a85605c82f6d8c68d13b820622e9");

@@ -21,6 +21,7 @@ let () =
       ("sync", Test_sync.suite);
       ("properties", Test_properties.suite);
       ("trace", Test_trace.suite);
+      ("flight_recorder", Test_flight_recorder.suite);
       ("scenario", Test_scenario.suite);
       ("experiments", Test_experiments.suite);
       ("integration", Test_integration.suite);
