@@ -281,7 +281,10 @@ let obs_registry () =
   let reg = Registry.create () in
   for c = 0 to obs_cores - 1 do
     let labels = [ Registry.core c ] in
-    Registry.counter reg ~labels "bench_counter" (fun () -> c);
+    (* slot-backed per-core counter: same snapshot output as the closure
+       form this used to be, but incremented as one unboxed slab word *)
+    let slot = Registry.counter_slot reg ~labels "bench_counter" in
+    Registry.bump_by reg slot c;
     Registry.gauge reg ~labels "bench_gauge" (fun () -> float_of_int c);
     let h = Histogram'.create () in
     for i = 1 to 100 do
@@ -547,6 +550,153 @@ let trace_push_tests =
       Test.make ~name:"boxed" (Staged.stage bench_trace_boxed);
     ]
 
+(* The eventq re-backing's scoreboard at event granularity.  [Boxed_eventq]
+   mirrors the boxed binary heap the flat SoA heap replaced: a 4-field
+   entry record plus a 3-field handle record allocated per [schedule], and
+   an [int ref] shared with every handle.  The flat heap moves three
+   machine words per node in one preallocated int Bigarray and hands out
+   int handles, so the identical schedule+pop stream allocates nothing. *)
+module Boxed_eventq = struct
+  type handle = {
+    mutable cancelled : bool;
+    mutable in_heap : bool;
+    cancelled_in_heap : int ref;
+  }
+
+  type 'a entry = { time : int; seq : int; payload : 'a; handle : handle }
+
+  type 'a t = {
+    mutable heap : 'a entry array;
+    mutable len : int;
+    mutable next_seq : int;
+    cancelled_in_heap : int ref;
+  }
+
+  let create () = { heap = [||]; len = 0; next_seq = 0; cancelled_in_heap = ref 0 }
+  let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let grow t =
+    let cap = Array.length t.heap in
+    let fresh = Array.make (if cap = 0 then 16 else cap * 2) t.heap.(0) in
+    Array.blit t.heap 0 fresh 0 t.len;
+    t.heap <- fresh
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if entry_lt t.heap.(i) t.heap.(parent) then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(parent);
+        t.heap.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let smallest = ref i in
+    if left < t.len && entry_lt t.heap.(left) t.heap.(!smallest) then smallest := left;
+    if right < t.len && entry_lt t.heap.(right) t.heap.(!smallest) then
+      smallest := right;
+    if !smallest <> i then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(!smallest);
+      t.heap.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
+
+  let schedule t ~at payload =
+    let handle =
+      { cancelled = false; in_heap = true; cancelled_in_heap = t.cancelled_in_heap }
+    in
+    let entry = { time = at; seq = t.next_seq; payload; handle } in
+    t.next_seq <- t.next_seq + 1;
+    if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+    if t.len = Array.length t.heap then grow t;
+    t.heap.(t.len) <- entry;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1);
+    handle
+
+  let pop_raw t =
+    if t.len = 0 then None
+    else begin
+      let top = t.heap.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.heap.(0) <- t.heap.(t.len);
+        sift_down t 0
+      end;
+      top.handle.in_heap <- false;
+      if top.handle.cancelled then decr t.cancelled_in_heap;
+      Some top
+    end
+
+  let rec pop t =
+    match pop_raw t with
+    | None -> None
+    | Some e -> if e.handle.cancelled then pop t else Some (e.time, e.payload)
+end
+
+let eventq_ops_per_run = 1_000
+let eventq_standing = 256  (* heap depth the round trips sift through *)
+
+(* Steady state is the claim under test — the queues are built and warmed
+   once, so the measured region is purely schedule+pop round trips at a
+   standing heap depth (an engine mid-run), not queue construction or
+   capacity growth.  The standing events sit at [max_int], so every pop
+   returns the event just scheduled. *)
+let eventq_flat_q =
+  let module Eventq = Skyloft_sim.Eventq in
+  let q = Eventq.create () in
+  for _ = 1 to eventq_standing do
+    ignore (Eventq.schedule q ~at:max_int ())
+  done;
+  (* one round trip so the last capacity doubling happens here, not in the
+     first measured run *)
+  ignore (Eventq.schedule q ~at:0 ());
+  Eventq.pop_exn q;
+  q
+
+let eventq_flat_clock = ref 1
+
+let bench_eventq_flat () =
+  let module Eventq = Skyloft_sim.Eventq in
+  let q = eventq_flat_q in
+  let t = !eventq_flat_clock in
+  for i = 0 to eventq_ops_per_run - 1 do
+    ignore (Eventq.schedule q ~at:(t + i) ());
+    Eventq.pop_exn q
+  done;
+  eventq_flat_clock := t + eventq_ops_per_run
+
+let eventq_boxed_q =
+  let q = Boxed_eventq.create () in
+  for _ = 1 to eventq_standing do
+    ignore (Boxed_eventq.schedule q ~at:max_int ())
+  done;
+  ignore (Boxed_eventq.schedule q ~at:0 ());
+  ignore (Boxed_eventq.pop q);
+  q
+
+let eventq_boxed_clock = ref 1
+
+let bench_eventq_boxed () =
+  let q = eventq_boxed_q in
+  let t = !eventq_boxed_clock in
+  for i = 0 to eventq_ops_per_run - 1 do
+    ignore (Boxed_eventq.schedule q ~at:(t + i) ());
+    ignore (Boxed_eventq.pop q)
+  done;
+  eventq_boxed_clock := t + eventq_ops_per_run
+
+let eventq_op_tests =
+  Test.make_grouped ~name:"eventq-op"
+    [
+      Test.make ~name:"flat" (Staged.stage bench_eventq_flat);
+      Test.make ~name:"boxed" (Staged.stage bench_eventq_boxed);
+    ]
+
 let bench_core_json_path = "BENCH_core.json"
 
 let print_core_bench () =
@@ -589,6 +739,23 @@ let print_core_bench () =
      zero allocation, no write barrier — %.1fx the boxed representation it \
      replaced"
     (boxed /. flat);
+  let eventq_results = run_bench eventq_op_tests in
+  let per_op name =
+    estimate eventq_results (Printf.sprintf "eventq-op/%s" name)
+    /. float_of_int eventq_ops_per_run
+  in
+  let eq_flat = per_op "flat" and eq_boxed = per_op "boxed" in
+  E.Report.table
+    ~header:[ "eventq backend"; "ns per schedule+pop (this host)" ]
+    [
+      [ "flat SoA heap"; Printf.sprintf "%.1f" eq_flat ];
+      [ "boxed heap (replaced)"; Printf.sprintf "%.1f" eq_boxed ];
+    ];
+  E.Report.note
+    "the flat heap sifts 3-word nodes inside one int Bigarray and returns \
+     int handles: schedule+pop allocates nothing — %.1fx the boxed heap it \
+     replaced"
+    (eq_boxed /. eq_flat);
   let buf = Buffer.create 256 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -606,6 +773,11 @@ let print_core_bench () =
   obj "ns_per_request" core_runtime_names per_req;
   obj "ns_per_request_traced" core_runtime_names (fun n ->
       per_req (n ^ "-traced"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"eventq_ns_per_op\": { \"flat\": %.1f, \"boxed_reference\": %.1f, \
+        \"speedup\": %.2f },\n"
+       eq_flat eq_boxed (eq_boxed /. eq_flat));
   Buffer.add_string buf
     (Printf.sprintf
        "  \"trace_ns_per_event\": { \"flat\": %.1f, \"boxed_reference\": \

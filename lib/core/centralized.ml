@@ -1,6 +1,7 @@
 module Time = Skyloft_sim.Time
 module Coro = Skyloft_sim.Coro
 module Engine = Skyloft_sim.Engine
+module Eventq = Skyloft_sim.Eventq
 module Machine = Skyloft_hw.Machine
 module Costs = Skyloft_hw.Costs
 module Vectors = Skyloft_hw.Vectors
@@ -65,6 +66,8 @@ type worker = {
   mutable gen : int;  (* assignment generation, guards stale events *)
   mutable reserved : bool;  (* an assignment is in flight *)
   mutable incoming : int;  (* app of the in-flight assignment; -1 if none *)
+  qtimer : Engine.timer;  (* reusable quantum timer, re-armed per dispatch *)
+  mutable qt_gen : int;  (* [gen] at the last quantum arm *)
 }
 
 type t = {
@@ -103,12 +106,12 @@ let rec start_on t w (task : Task.t) =
   task.Task.wake_time <- None;
   let start = Rc.begin_run t.rc w.ex task ~switch_cost in
   w.gen <- w.gen + 1;
-  let gen = w.gen in
-  (* Arm the quantum timer for LC work (Shinjuku-style PS). *)
-  if t.quantum > 0 && not (Rc.is_be t.rc task) then
-    ignore
-      (Engine.at t.rc.Rc.engine (start + t.quantum) (fun () ->
-           quantum_check t w task gen));
+  (* Arm the quantum timer for LC work (Shinjuku-style PS): the worker's
+     one reusable timer, re-armed per dispatch, supersedes stale firings. *)
+  if t.quantum > 0 && not (Rc.is_be t.rc task) then begin
+    w.qt_gen <- w.gen;
+    Engine.arm w.qtimer ~at:(start + t.quantum)
+  end;
   Rc.run_after_switch t.rc w.ex task ~switch_cost
 
 and assign t w (task : Task.t) =
@@ -176,9 +179,18 @@ and quantum_check t w (task : Task.t) gen =
               ~reason:Sched_ops.Enq_preempted task))
   end
 
+(* The quantum timer's stable callback: [quantum_check] compares [qt_gen]
+   (recorded at arm time) against the live generation, so a dispatch that
+   already ended is left alone. *)
+let quantum_fire t w =
+  match w.ex.Rc.current with
+  | Some task -> quantum_check t w task w.qt_gen
+  | None -> ()
+
 let preempt_be_worker t w =
   match w.ex.Rc.current with
-  | Some task when Rc.is_be t.rc task && w.ex.Rc.completion <> None ->
+  | Some task
+    when Rc.is_be t.rc task && not (Eventq.is_null w.ex.Rc.completion) ->
       let gen = w.gen in
       t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1;
       dispatcher_do t t.mech.preempt_send (fun () ->
@@ -212,7 +224,7 @@ let watchdog_scan t ~bound =
     (fun w ->
       if now t >= w.ex.Rc.stolen_until then
         match w.ex.Rc.current with
-        | Some task when w.ex.Rc.completion <> None ->
+        | Some task when not (Eventq.is_null w.ex.Rc.completion) ->
             (* A quantum-sized run is legitimate; a full bound past the
                expected preemption point means the preemption was lost. *)
             let allowed =
@@ -251,7 +263,7 @@ let set_be_allowance t n =
    faults apply and [try_next]'s gate keeps the worker empty afterwards. *)
 let preempt_capped_worker t w =
   match w.ex.Rc.current with
-  | Some task when w.ex.Rc.completion <> None ->
+  | Some task when not (Eventq.is_null w.ex.Rc.completion) ->
       let gen = w.gen in
       if Rc.is_be t.rc task then
         t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1
@@ -296,11 +308,19 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
       invalid_arg "Centralized.create: watchdog bound must be positive"
   | Some _ | None -> ());
   let alloc = match alloc with Some a -> a | None -> Allocator.default_config () in
+  let engine = Machine.engine machine in
   let workers =
     Array.of_list
       (List.map
          (fun core_id ->
-           { ex = Rc.make_exec core_id; gen = 0; reserved = false; incoming = -1 })
+           {
+             ex = Rc.make_exec core_id;
+             gen = 0;
+             reserved = false;
+             incoming = -1;
+             qtimer = Engine.timer engine ignore;
+             qt_gen = 0;
+           })
          worker_cores)
   in
   let t =
@@ -319,6 +339,7 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
   in
   let by_core = Hashtbl.create 16 in
   Array.iter (fun w -> Hashtbl.replace by_core w.ex.Rc.exec_core w) workers;
+  Array.iter (fun w -> Engine.set_callback w.qtimer (fun () -> quantum_fire t w)) workers;
   Rc.install_dispatch t.rc
     {
       Rc.d_name = "centralized";

@@ -21,13 +21,18 @@ module Rc = Runtime_core
 type mode = Central | Percore
 
 (* One worker core.  [gen]/[reserved]/[incoming] guard central-mode
-   assignments in flight; [kick_pending] coalesces percore-mode kicks. *)
+   assignments in flight; [kick_pending] coalesces percore-mode kicks.
+   [qtimer] is the unit's reusable central-mode quantum timer, re-armed
+   per dispatch; [qt_gen] records [gen] at the last arm so a firing knows
+   whether the dispatch it covered is still running. *)
 type unit_state = {
   ex : Rc.exec;
   mutable gen : int;
   mutable reserved : bool;
   mutable incoming : int;
   mutable kick_pending : bool;
+  qtimer : Engine.timer;
+  mutable qt_gen : int;
 }
 
 type t = {
@@ -62,9 +67,9 @@ let dispatcher_do t cost f =
 (* Interrupt handling steals CPU time from the running segment (percore
    mode); the cost is charged to the victim as scheduling overhead. *)
 let steal_time t u cost =
-  match (u.ex.Rc.current, u.ex.Rc.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
+  match u.ex.Rc.current with
+  | Some task when not (Eventq.is_null u.ex.Rc.completion) ->
+      Engine.cancel t.rc.Rc.engine u.ex.Rc.completion;
       task.Task.segment_end <- task.Task.segment_end + cost;
       task.Task.obs_overhead_ns <- task.Task.obs_overhead_ns + cost;
       Rc.arm_completion t.rc u.ex task
@@ -93,13 +98,13 @@ let rec start_on t u (task : Task.t) =
     task.Task.wake_time <- None;
     let start = Rc.begin_run t.rc u.ex task ~switch_cost in
     u.gen <- u.gen + 1;
-    let gen = u.gen in
     (* Quantum preemption covers central-mode assignments; percore-mode
-       runs are preempted by the per-core timer instead. *)
-    if t.quantum > 0 && not (Rc.is_be t.rc task) then
-      ignore
-        (Engine.at t.rc.Rc.engine (start + t.quantum) (fun () ->
-             quantum_check t u task gen));
+       runs are preempted by the per-core timer instead.  Re-arming the
+       unit's timer supersedes any stale pending firing. *)
+    if t.quantum > 0 && not (Rc.is_be t.rc task) then begin
+      u.qt_gen <- u.gen;
+      Engine.arm u.qtimer ~at:(start + t.quantum)
+    end;
     Rc.run_after_switch t.rc u.ex task ~switch_cost
   end
 
@@ -210,6 +215,15 @@ and quantum_check t u (task : Task.t) gen =
               ~reason:Sched_ops.Enq_preempted task))
   end
 
+(* The reusable quantum timer's stable callback: the arm that scheduled
+   this firing recorded [qt_gen]; [quantum_check] compares it against the
+   unit's live generation, so a dispatch that ended (or was superseded —
+   re-arming cancels the stale firing outright) is left alone. *)
+let quantum_fire t u =
+  match u.ex.Rc.current with
+  | Some task -> quantum_check t u task u.qt_gen
+  | None -> ()
+
 (* Percore-mode arm: synchronous, the timer handler already charged the
    receive cost to the victim. *)
 let preempt_now t u =
@@ -296,12 +310,14 @@ let on_tick t u =
   if t.mode = Percore && now t >= u.ex.Rc.stolen_until then begin
     t.ticks <- t.ticks + 1;
     steal_time t u (Costs.user_timer_receive_ns + Costs.senduipi_sn_ns);
-    match (u.ex.Rc.current, u.ex.Rc.completion) with
-    | Some _, Some _ when Rc.unit_capped t.rc u.ex ->
+    match u.ex.Rc.current with
+    | Some _
+      when (not (Eventq.is_null u.ex.Rc.completion))
+           && Rc.unit_capped t.rc u.ex ->
         (* Broker-capped unit: the tick only enforces the cap (backstop
            for a run that slipped in around a shrink). *)
         preempt_now t u
-    | Some task, Some _ ->
+    | Some task when not (Eventq.is_null u.ex.Rc.completion) ->
         if Rc.is_be t.rc task then begin
           if Rc.be_occupancy t.rc > t.rc.Rc.be_allowance then preempt_now t u
         end
@@ -339,7 +355,7 @@ let watchdog_scan t ~bound =
     (fun u ->
       if now t >= u.ex.Rc.stolen_until then
         match u.ex.Rc.current with
-        | Some task when u.ex.Rc.completion <> None ->
+        | Some task when not (Eventq.is_null u.ex.Rc.completion) ->
             (* The expected preemption point depends on which mechanism
                covers the run; grant the larger of the two. *)
             let allowed =
@@ -357,7 +373,8 @@ let watchdog_scan t ~bound =
 
 let preempt_be_central t u =
   match u.ex.Rc.current with
-  | Some task when Rc.is_be t.rc task && u.ex.Rc.completion <> None ->
+  | Some task
+    when Rc.is_be t.rc task && not (Eventq.is_null u.ex.Rc.completion) ->
       let gen = u.gen in
       t.rc.Rc.be_preempts <- t.rc.Rc.be_preempts + 1;
       dispatcher_do t t.mech.Centralized.preempt_send (fun () ->
@@ -368,7 +385,8 @@ let preempt_be_central t u =
 
 let preempt_be_percore t u =
   match u.ex.Rc.current with
-  | Some task when Rc.is_be t.rc task && u.ex.Rc.completion <> None ->
+  | Some task
+    when Rc.is_be t.rc task && not (Eventq.is_null u.ex.Rc.completion) ->
       steal_time t u (Costs.uipi_receive_ns ~cross_numa:false);
       (match Rc.depose t.rc u.ex ~overhead:0 with
       | Some task ->
@@ -405,7 +423,7 @@ let set_be_allowance t n =
    local preemption with the receive cost charged (percore). *)
 let preempt_capped_unit t u =
   match u.ex.Rc.current with
-  | Some task when u.ex.Rc.completion <> None -> (
+  | Some task when not (Eventq.is_null u.ex.Rc.completion) -> (
       match t.mode with
       | Central ->
           let gen = u.gen in
@@ -474,6 +492,7 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
   let alloc =
     match alloc with Some a -> a | None -> Allocator.default_config ()
   in
+  let engine = Machine.engine machine in
   let units =
     Array.of_list
       (List.map
@@ -484,6 +503,8 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
              reserved = false;
              incoming = -1;
              kick_pending = false;
+             qtimer = Engine.timer engine ignore;
+             qt_gen = 0;
            })
          worker_cores)
   in
@@ -508,6 +529,7 @@ let create machine kmod ~dispatcher_core ~worker_cores ~quantum
     }
   in
   Array.iter (fun u -> Hashtbl.replace t.by_core u.ex.Rc.exec_core u) units;
+  Array.iter (fun u -> Engine.set_callback u.qtimer (fun () -> quantum_fire t u)) units;
   Rc.install_dispatch t.rc
     {
       Rc.d_name = "hybrid";

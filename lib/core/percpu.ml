@@ -138,9 +138,9 @@ let preempt_current t cpu =
    stall when [stall] (host-kernel core steals, where the core vanishes
    rather than doing scheduling work). *)
 let steal_time ?(stall = false) t cpu cost =
-  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
+  match cpu.ex.Rc.current with
+  | Some task when not (Eventq.is_null cpu.ex.Rc.completion) ->
+      Engine.cancel t.rc.Rc.engine cpu.ex.Rc.completion;
       task.Task.segment_end <- task.Task.segment_end + cost;
       if stall then task.Task.obs_stall_ns <- task.Task.obs_stall_ns + cost
       else task.Task.obs_overhead_ns <- task.Task.obs_overhead_ns + cost;
@@ -169,8 +169,8 @@ let kick_some_idle t =
    with the core gone nothing local would drain it — and wake an allowed
    idle core to pick the refugee up. *)
 let evict_capped t cpu =
-  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
-  | Some _, Some _ ->
+  match cpu.ex.Rc.current with
+  | Some _ when not (Eventq.is_null cpu.ex.Rc.completion) ->
       steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
       (match Rc.depose t.rc cpu.ex ~overhead:0 with
       | Some task ->
@@ -202,8 +202,8 @@ let tick_decision t cpu =
        task that slipped in around a shrink); it never kicks or picks. *)
     evict_capped t cpu
   else
-    match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
-  | Some task, Some _ ->
+    match cpu.ex.Rc.current with
+  | Some task when not (Eventq.is_null cpu.ex.Rc.completion) ->
       if Rc.is_be t.rc task then begin
         if Rc.be_occupancy t.rc > t.rc.Rc.be_allowance then preempt_current t cpu
       end
@@ -387,7 +387,9 @@ let set_be_allowance t n =
       (fun cpu ->
         if !excess > 0 then
           match cpu.ex.Rc.current with
-          | Some task when Rc.is_be t.rc task && cpu.ex.Rc.completion <> None ->
+          | Some task
+            when Rc.is_be t.rc task
+                 && not (Eventq.is_null cpu.ex.Rc.completion) ->
               steal_time t cpu (Costs.uipi_receive_ns ~cross_numa:false);
               preempt_current t cpu;
               decr excess
@@ -478,10 +480,10 @@ let spawn t app ~name ?cpu ?arrival ?service ?(record = true) ?deadline ?on_drop
 let rec fault_current t ~core ~duration =
   if duration <= 0 then invalid_arg "Percpu.fault_current: duration must be positive";
   let cpu = cpu_of t core in
-  match (cpu.ex.Rc.current, cpu.ex.Rc.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
-      cpu.ex.Rc.completion <- None;
+  match cpu.ex.Rc.current with
+  | Some task when not (Eventq.is_null cpu.ex.Rc.completion) ->
+      Engine.cancel t.rc.Rc.engine cpu.ex.Rc.completion;
+      cpu.ex.Rc.completion <- Eventq.null;
       let remaining = max 0 (task.Task.segment_end - now t) in
       task.Task.body <- Coro.Compute (remaining, task.Task.cont);
       task.Task.state <- Task.Blocked;

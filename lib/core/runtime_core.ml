@@ -28,7 +28,11 @@ type exec = {
   exec_core : int;
   mutable exec_slot : int;  (* index among d_units; -1 before install *)
   mutable current : Task.t option;
-  mutable completion : Eventq.handle option;
+  mutable completion : Eventq.handle;  (* Eventq.null when no segment armed *)
+  mutable completion_fire : unit -> unit;
+      (* the unit's one stable completion closure, installed with the
+         dispatch record: every segment end re-arms it instead of building
+         a fresh closure per segment *)
   mutable busy_from : Time.t;
   mutable active_app : int;
   mutable stolen_until : Time.t;  (* host kernel holds the core until then *)
@@ -141,16 +145,12 @@ let make_exec core =
     exec_core = core;
     exec_slot = -1;
     current = None;
-    completion = None;
+    completion = Eventq.null;
+    completion_fire = ignore;
     busy_from = 0;
     active_app = 0;
     stolen_until = 0;
   }
-
-let install_dispatch t d =
-  t.dispatch <- d;
-  Array.iteri (fun i ex -> ex.exec_slot <- i) d.d_units;
-  t.be_allowance <- Array.length d.d_units
 
 (* Broker gate: a unit whose slot falls beyond the core allowance may not
    run anything (its core belongs to another tenant right now).  Allowed
@@ -271,8 +271,7 @@ let rec process t ex (task : Task.t) =
   | Coro.Compute (d, k) ->
       task.cont <- k;
       task.segment_end <- now t + d;
-      ex.completion <-
-        Some (Engine.at t.engine task.segment_end (fun () -> on_complete t ex task))
+      ex.completion <- Engine.at t.engine task.segment_end ex.completion_fire
   | Coro.Yield _ ->
       (* continuation evaluated at the next dispatch (resume time) *)
       task.state <- Task.Runnable;
@@ -312,14 +311,33 @@ let rec process t ex (task : Task.t) =
       t.dispatch.d_reschedule ex ~prev:(Some task)
 
 and on_complete t ex (task : Task.t) =
-  ex.completion <- None;
+  ex.completion <- Eventq.null;
   task.body <- task.cont ();
   process t ex task
 
+(* Install the dispatch record and wire each unit's stable completion
+   closure.  The closure reads [ex.current] when it fires: a completion is
+   only ever armed for the unit's current task, and every path that takes
+   the task off the unit (depose, kill, steal-freeze) cancels it first. *)
+let install_dispatch t d =
+  t.dispatch <- d;
+  Array.iteri
+    (fun i ex ->
+      ex.exec_slot <- i;
+      ex.completion_fire <-
+        (fun () ->
+          ex.completion <- Eventq.null;
+          match ex.current with
+          | Some task ->
+              task.Task.body <- task.Task.cont ();
+              process t ex task
+          | None -> ()))
+    d.d_units;
+  t.be_allowance <- Array.length d.d_units
+
 (* Re-arm the completion timer after the segment end moved (time steals). *)
 let arm_completion t ex (task : Task.t) =
-  ex.completion <-
-    Some (Engine.at t.engine task.Task.segment_end (fun () -> on_complete t ex task))
+  ex.completion <- Engine.at t.engine task.Task.segment_end ex.completion_fire
 
 (* Put [task] on [ex]: lifecycle state, attribution stamping, and the
    wakeup-latency sample.  Returns the moment execution begins (after the
@@ -364,10 +382,10 @@ let run_after_switch t ex (task : Task.t) ~switch_cost =
    because the response time counts it exactly once.  Returns the deposed
    task; the caller requeues it and reschedules the unit. *)
 let depose t ex ~overhead =
-  match (ex.current, ex.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
-      ex.completion <- None;
+  match ex.current with
+  | Some task when not (Eventq.is_null ex.completion) ->
+      Engine.cancel t.engine ex.completion;
+      ex.completion <- Eventq.null;
       let remaining = max 0 (task.Task.segment_end - now t) + overhead in
       task.Task.body <- Coro.Compute (remaining, task.Task.cont);
       task.Task.state <- Task.Runnable;
@@ -434,11 +452,8 @@ let kill t ?on_drop (task : Task.t) =
             t.dispatch.d_units
         with
         | Some ex ->
-            (match ex.completion with
-            | Some h ->
-                Eventq.cancel h;
-                ex.completion <- None
-            | None -> ());
+            Engine.cancel t.engine ex.completion;
+            ex.completion <- Eventq.null;
             task.Task.killed <- true;
             task.Task.state <- Task.Exited;
             account t ex;
@@ -521,9 +536,9 @@ let start_watchdog t ~bound scan =
    watchdog clocks do not count stolen time against the task. *)
 let freeze_for_steal t ex ~duration =
   ex.stolen_until <- max ex.stolen_until (now t + duration);
-  match (ex.current, ex.completion) with
-  | Some task, Some h ->
-      Eventq.cancel h;
+  match ex.current with
+  | Some task when not (Eventq.is_null ex.completion) ->
+      Engine.cancel t.engine ex.completion;
       task.Task.segment_end <- task.Task.segment_end + duration;
       task.Task.run_start <- task.Task.run_start + duration;
       task.Task.obs_stall_ns <- task.Task.obs_stall_ns + duration;

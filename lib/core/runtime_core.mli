@@ -31,7 +31,12 @@ type exec = {
   exec_core : int;
   mutable exec_slot : int;  (** index among [d_units]; [-1] before install *)
   mutable current : Task.t option;
-  mutable completion : Eventq.handle option;
+  mutable completion : Eventq.handle;
+      (** segment-end event for [current]; [Eventq.null] when none armed *)
+  mutable completion_fire : unit -> unit;
+      (** the unit's one stable completion closure (installed by
+          {!install_dispatch}); re-armed per segment instead of allocating
+          a closure each *)
   mutable busy_from : Time.t;
   mutable active_app : int;
   mutable stolen_until : Time.t;

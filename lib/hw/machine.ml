@@ -24,6 +24,9 @@ type core = {
   mutable interrupts_received : int;
   mutable user_interrupts : int;
   mutable dropped : int;
+  deliver : (unit -> unit) option array;
+      (* memoized per-vector delivery closures: every IPI to this core
+         schedules the same closure instead of allocating a fresh one *)
 }
 
 type fate = Deliver | Drop | Delay of Time.t
@@ -51,6 +54,7 @@ let create engine topo =
       interrupts_received = 0;
       user_interrupts = 0;
       dropped = 0;
+      deliver = Array.make 256 None;
     }
   in
   {
@@ -148,6 +152,19 @@ let fault_fate t ~core v =
 let injected_ipi_drops t = t.injected_ipi_drops
 let injected_ipi_delays t = t.injected_ipi_delays
 
+(* The delivery closure for vector [v] at [c], built once per (core,
+   vector) pair and reused for every subsequent IPI — delivery itself then
+   allocates nothing per interrupt. *)
+let delivery c v =
+  if v < 0 || v >= Array.length c.deliver then fun () -> raise_vector c v
+  else
+    match Array.unsafe_get c.deliver v with
+    | Some f -> f
+    | None ->
+        let f () = raise_vector c v in
+        c.deliver.(v) <- Some f;
+        f
+
 let send_ipi t ~src ~dst v =
   let cross = Topology.cross_numa t.topo src dst in
   let latency =
@@ -157,10 +174,8 @@ let send_ipi t ~src ~dst v =
   let target = core t dst in
   match fault_fate t ~core:dst v with
   | Drop -> ()
-  | Delay d ->
-      ignore (Engine.after t.engine (latency + d) (fun () -> raise_vector target v))
-  | Deliver ->
-      ignore (Engine.after t.engine latency (fun () -> raise_vector target v))
+  | Delay d -> ignore (Engine.after t.engine (latency + d) (delivery target v))
+  | Deliver -> ignore (Engine.after t.engine latency (delivery target v))
 
 let timer_stop t ~core:i =
   let c = core t i in

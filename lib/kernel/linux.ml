@@ -48,7 +48,9 @@ type cpu = {
   rq : Krq.t;  (* Ready threads, indexed by the policy sort key *)
   mutable min_vruntime : float;
   mutable last_update : Time.t;
-  mutable completion : Eventq.handle option;
+  mutable completion : Eventq.handle;  (* Eventq.null when no segment armed *)
+  mutable completion_fire : unit -> unit;
+      (* the cpu's one stable segment-end closure, re-armed per segment *)
 }
 
 type t = {
@@ -67,37 +69,8 @@ let now t = Engine.now t.engine
 
 let policy_hz = function Cfs { hz; _ } -> hz | Rr { hz; _ } -> hz | Eevdf { hz; _ } -> hz
 
-let create machine policy ~cores =
-  if cores = [] then invalid_arg "Linux.create: no cores";
-  let cpus =
-    Array.of_list
-      (List.map
-         (fun idx ->
-           {
-             idx;
-             curr = None;
-             rq = Krq.create ();
-             min_vruntime = 0.0;
-             last_update = 0;
-             completion = None;
-           })
-         cores)
-  in
-  let t =
-    {
-      machine;
-      engine = Machine.engine machine;
-      policy;
-      cpus;
-      by_core = Hashtbl.create 64;
-      wakeups = Histogram.create ();
-      switches = 0;
-      alive = 0;
-      next_tid = 1;
-    }
-  in
-  Array.iter (fun c -> Hashtbl.replace t.by_core c.idx c) cpus;
-  t
+(* [create] lives after the dispatch group below: it wires each cpu's
+   stable completion closure, which needs [on_complete]. *)
 
 (* ---- vruntime / deadline accounting ---------------------------------- *)
 
@@ -180,8 +153,7 @@ let rec process t cpu (kt : Kthread.t) =
   | Coro.Compute (d, k) ->
       kt.cont <- k;
       kt.segment_end <- now t + d;
-      cpu.completion <-
-        Some (Engine.at t.engine kt.segment_end (fun () -> on_complete t cpu kt))
+      cpu.completion <- Engine.at t.engine kt.segment_end cpu.completion_fire
   | Coro.Yield _ ->
       (* The continuation is evaluated when the thread is dispatched again,
          so its side effects happen at resume time. *)
@@ -224,7 +196,7 @@ and eevdf_dequeue t cpu (kt : Kthread.t) =
   | Cfs _ | Rr _ -> ()
 
 and on_complete t cpu (kt : Kthread.t) =
-  cpu.completion <- None;
+  cpu.completion <- Eventq.null;
   update_curr t cpu;
   kt.body <- kt.cont ();
   process t cpu kt
@@ -283,14 +255,58 @@ and schedule t cpu ~prev =
       in
       dispatch t cpu kt ~switch_cost:cost
 
+(* ---- construction ------------------------------------------------------- *)
+
+let create machine policy ~cores =
+  if cores = [] then invalid_arg "Linux.create: no cores";
+  let cpus =
+    Array.of_list
+      (List.map
+         (fun idx ->
+           {
+             idx;
+             curr = None;
+             rq = Krq.create ();
+             min_vruntime = 0.0;
+             last_update = 0;
+             completion = Eventq.null;
+             completion_fire = ignore;
+           })
+         cores)
+  in
+  let t =
+    {
+      machine;
+      engine = Machine.engine machine;
+      policy;
+      cpus;
+      by_core = Hashtbl.create 64;
+      wakeups = Histogram.create ();
+      switches = 0;
+      alive = 0;
+      next_tid = 1;
+    }
+  in
+  Array.iter (fun c -> Hashtbl.replace t.by_core c.idx c) cpus;
+  (* Each cpu's stable completion closure reads [curr] when it fires: a
+     completion is only armed for the running thread, and every path that
+     takes the thread off the cpu cancels it first. *)
+  Array.iter
+    (fun c ->
+      c.completion_fire <-
+        (fun () ->
+          match c.curr with Some kt -> on_complete t c kt | None -> ()))
+    cpus;
+  t
+
 (* ---- preemption -------------------------------------------------------- *)
 
 let preempt_curr t cpu =
-  match (cpu.curr, cpu.completion) with
-  | Some kt, Some h ->
+  match cpu.curr with
+  | Some kt when not (Eventq.is_null cpu.completion) ->
       update_curr t cpu;
-      Eventq.cancel h;
-      cpu.completion <- None;
+      Engine.cancel t.engine cpu.completion;
+      cpu.completion <- Eventq.null;
       let remaining = max 0 (kt.segment_end - now t) in
       kt.body <- Coro.Compute (remaining, kt.cont);
       kt.state <- Kthread.Ready;
@@ -301,12 +317,11 @@ let preempt_curr t cpu =
 
 (* Interrupt overhead pushes the running segment's completion back. *)
 let steal_time t cpu cost =
-  match (cpu.curr, cpu.completion) with
-  | Some kt, Some h ->
-      Eventq.cancel h;
+  match cpu.curr with
+  | Some kt when not (Eventq.is_null cpu.completion) ->
+      Engine.cancel t.engine cpu.completion;
       kt.segment_end <- kt.segment_end + cost;
-      cpu.completion <-
-        Some (Engine.at t.engine kt.segment_end (fun () -> on_complete t cpu kt))
+      cpu.completion <- Engine.at t.engine kt.segment_end cpu.completion_fire
   | _ -> ()
 
 let tick_period t = max 1 (1_000_000_000 / policy_hz t.policy)

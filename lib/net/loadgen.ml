@@ -8,33 +8,46 @@ let poisson engine ~rng ~rate_rps ~service ?start ~duration ?(kind = fun _ -> "r
   let start = match start with Some s -> s | None -> Engine.now engine in
   let mean_gap_ns = 1e9 /. rate_rps in
   let stop = start + duration in
-  let rec arrive at =
-    if at < stop then
-      ignore
-        (Engine.at engine at (fun () ->
-             let pkt =
-               Packet.create ~arrival:at
-                 ~service:(Dist.sample service rng)
-                 ~flow:(Rng.int rng 1_000_000) ~kind:(kind rng)
-             in
-             sink pkt;
-             let gap = max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)) in
-             arrive (at + gap)))
-  in
-  arrive (start + max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)))
+  (* One reusable timer re-armed in place per arrival — the open-loop
+     stream allocates no closure per request. *)
+  let at = ref 0 in
+  let tm = Engine.timer engine ignore in
+  Engine.set_callback tm (fun () ->
+      let arrival = !at in
+      let pkt =
+        Packet.create ~arrival
+          ~service:(Dist.sample service rng)
+          ~flow:(Rng.int rng 1_000_000) ~kind:(kind rng)
+      in
+      sink pkt;
+      let gap = max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)) in
+      let next = arrival + gap in
+      if next < stop then begin
+        at := next;
+        Engine.arm tm ~at:next
+      end);
+  let first = start + max 1 (int_of_float (Rng.exponential rng ~mean:mean_gap_ns)) in
+  if first < stop then begin
+    at := first;
+    Engine.arm tm ~at:first
+  end
 
 let stream engine ~next emit =
-  let rec arm ~now =
+  let tm = Engine.timer engine ignore in
+  let at = ref 0 in
+  let arm_next ~now =
     match next ~now with
     | None -> ()
-    | Some at ->
-        let at = max at now in
-        ignore
-          (Engine.at engine at (fun () ->
-               emit at;
-               arm ~now:at))
+    | Some t ->
+        let t = max t now in
+        at := t;
+        Engine.arm tm ~at:t
   in
-  arm ~now:(Engine.now engine)
+  Engine.set_callback tm (fun () ->
+      let fired_at = !at in
+      emit fired_at;
+      arm_next ~now:fired_at);
+  arm_next ~now:(Engine.now engine)
 
 let retrying engine ?(budget = 3) ?(backoff = Time.us 100)
     ?(max_backoff = Time.ms 10) ~attempt give_up =

@@ -53,6 +53,45 @@ val series : t -> ?help:string -> ?labels:labels -> string -> Timeseries.t -> un
 val size : t -> int
 (** Registered instruments. *)
 
+(** {1 Unboxed counter slots}
+
+    Hot-path counters (per-core tick/steal/interrupt tallies) can be kept
+    as machine words in one shared int [Bigarray] slab owned by the
+    registry instead of an [int ref] plus a reading closure per counter:
+    {!bump} is a single unboxed load/add/store — no allocation, no write
+    barrier — and snapshots read the same words, so the exported sample is
+    identical to a closure-backed {!counter}. *)
+
+type slot = private int
+(** Index of one counter word in the registry's shared slab. *)
+
+val counter_slot : t -> ?help:string -> ?labels:labels -> string -> slot
+(** Allocate a slab slot starting at 0 and register it under [name]; the
+    snapshot value is whatever the slot holds at snapshot time.  Same
+    validation and duplicate rules as {!counter}. *)
+
+val core_counter_slots :
+  t -> ?help:string -> ?labels:labels -> cores:int -> string -> slot array
+(** One slot per core, each registered with [labels @ [core c]] — the
+    common per-core counter family in one call.  Raises
+    [Invalid_argument] if [cores <= 0]. *)
+
+val alloc_slot : t -> slot
+(** A bare slot with no registered instrument (for intermediate tallies
+    that feed a {!gauge} or are read directly). *)
+
+val bump : t -> slot -> unit
+(** Add 1.  No allocation, no bounds check beyond the slab's. *)
+
+val bump_by : t -> slot -> int -> unit
+(** Add [n] (may be negative; counters are conventionally monotonic). *)
+
+val slot_value : t -> slot -> int
+(** Current value of the slot. *)
+
+val set_slot : t -> slot -> int -> unit
+(** Overwrite the slot (e.g. to mirror an externally-maintained total). *)
+
 (** {1 Snapshots} *)
 
 (** Materialised value of one instrument at snapshot time. *)

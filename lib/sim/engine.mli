@@ -31,11 +31,45 @@ val at : t -> Time.t -> (unit -> unit) -> Eventq.handle
 val after : t -> Time.t -> (unit -> unit) -> Eventq.handle
 (** [after t delay f] schedules [f] to run [delay] ns from now. *)
 
-val cancel : Eventq.handle -> unit
+val cancel : t -> Eventq.handle -> unit
+(** Cancel a scheduled event; stale or [Eventq.null] handles are no-ops. *)
+
+(** {2 Reusable timer events}
+
+    A [timer] owns one stable closure for its whole lifetime and is
+    re-armed in place, so self-re-arming periodic work — timer ticks, NIC
+    polls, arrival streams, watchdogs — costs zero allocations per tick
+    instead of a closure plus handle each. *)
+
+type timer
+
+val timer : t -> (unit -> unit) -> timer
+(** A disarmed timer running the given callback when it fires.  The
+    timer's pending-event handle is cleared before the callback runs, so
+    the callback may [arm] it again immediately (self-re-arm). *)
+
+val set_callback : timer -> (unit -> unit) -> unit
+(** Replace the timer's callback (takes effect from the next firing). *)
+
+val arm : timer -> at:Time.t -> unit
+(** Schedule the timer's next firing at an absolute time, cancelling any
+    firing already pending. *)
+
+val arm_after : timer -> Time.t -> unit
+(** [arm] at [now + delay]. *)
+
+val disarm : timer -> unit
+(** Cancel the pending firing, if any. *)
+
+val armed : timer -> bool
+
+val recurring : t -> period:Time.t -> ?start:Time.t -> (unit -> bool) -> timer
+(** [recurring t ~period f] runs [f] each [period] ns (first at [start],
+    default [now + period]) until [f] returns [false]; the returned timer
+    can be disarmed or re-armed to pause/resume the cycle. *)
 
 val every : t -> period:Time.t -> ?start:Time.t -> (unit -> bool) -> unit
-(** [every t ~period f] runs [f] each [period] ns (first at [start], default
-    [now + period]) until [f] returns [false]. *)
+(** [recurring] for callers that never need the timer back. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Drain the event queue.  Stops when the queue is empty, when the next

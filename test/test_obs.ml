@@ -49,6 +49,53 @@ let test_registry_duplicate_rejected () =
       Registry.counter reg ~labels:[ Registry.core 0 ] "dup_total" (fun () -> 3));
   check int "both registered" 2 (Registry.size reg)
 
+(* Slot-backed counters: a per-core family kept as unboxed words in the
+   registry's shared slab must be indistinguishable in every export from
+   the closure-backed counters it replaces, survive slab growth past the
+   initial capacity, and keep the usual duplicate rejection. *)
+let test_registry_counter_slots () =
+  let reg = Registry.create () in
+  let slots = Registry.core_counter_slots reg ~cores:4 "ticks_total" in
+  check int "one instrument per core" 4 (Registry.size reg);
+  Registry.bump reg slots.(1);
+  Registry.bump reg slots.(1);
+  Registry.bump_by reg slots.(3) 40;
+  let closure_value = ref 2 in
+  Registry.counter reg ~labels:[ ("kind", "closure") ] "ticks_total" (fun () ->
+      !closure_value);
+  let samples = Registry.snapshot reg in
+  check (option (of_pp Fmt.nop)) "slot counter reads its slab word"
+    (Some (Registry.Counter 2))
+    (Registry.find samples ~labels:[ Registry.core 1 ] "ticks_total");
+  check (option (of_pp Fmt.nop)) "bump_by lands"
+    (Some (Registry.Counter 40))
+    (Registry.find samples ~labels:[ Registry.core 3 ] "ticks_total");
+  check (option (of_pp Fmt.nop)) "untouched slot is zero"
+    (Some (Registry.Counter 0))
+    (Registry.find samples ~labels:[ Registry.core 0 ] "ticks_total");
+  (* identical rendering to a closure counter holding the same value *)
+  let prom = Registry.to_prometheus samples in
+  check bool "slot line matches closure format" true
+    (contains ~needle:{|ticks_total{core="1"} 2|} prom
+    && contains ~needle:{|ticks_total{kind="closure"} 2|} prom);
+  check int "slot_value agrees" 2 (Registry.slot_value reg slots.(1));
+  (* growth: past the initial 16-word slab, earlier slots keep their
+     values (the blit) and bumps through old slot indices still land *)
+  let more =
+    Array.init 40 (fun i ->
+        Registry.counter_slot reg ~labels:[ Registry.core i ] "grown_total")
+  in
+  Registry.bump reg more.(39);
+  Registry.bump reg slots.(1);
+  check int "old slot survives growth" 3 (Registry.slot_value reg slots.(1));
+  check int "new slot lands" 1 (Registry.slot_value reg more.(39));
+  Registry.set_slot reg more.(0) 7;
+  check int "set_slot" 7 (Registry.slot_value reg more.(0));
+  check_raises "duplicate slot metric rejected"
+    (Invalid_argument "Registry: duplicate metric grown_total{core=0}")
+    (fun () ->
+      ignore (Registry.counter_slot reg ~labels:[ Registry.core 0 ] "grown_total"))
+
 let test_registry_snapshot_isolation () =
   let reg = Registry.create () in
   let n = ref 1 in
@@ -284,6 +331,7 @@ let suite =
     test_case "registry name validation" `Quick test_registry_name_validation;
     test_case "registry duplicate rejected" `Quick test_registry_duplicate_rejected;
     test_case "snapshot isolation" `Quick test_registry_snapshot_isolation;
+    test_case "counter slots" `Quick test_registry_counter_slots;
     test_case "prometheus exposition" `Quick test_registry_prometheus_format;
     test_case "series level + json export" `Quick test_registry_series_and_json;
     test_case "attribution identity + mismatches" `Quick test_attribution_identity;

@@ -201,7 +201,7 @@ let test_watchdog_rescue () =
     Array.iter
       (fun ex ->
         match ex.Rc.current with
-        | Some task when ex.Rc.completion <> None ->
+        | Some task when not (Rc.Eventq.is_null ex.Rc.completion) ->
             let overrun = Rc.now st.rc - task.Task.run_start - bound in
             if overrun > 0 then begin
               Rc.rescued st.rc ex ~late:overrun;

@@ -252,8 +252,8 @@ let test_eventq_cancel () =
   let q = Eventq.create () in
   let h = Eventq.schedule q ~at:1 "dead" in
   ignore (Eventq.schedule q ~at:2 "alive");
-  Eventq.cancel h;
-  check Alcotest.bool "cancelled" true (Eventq.is_cancelled h);
+  Eventq.cancel q h;
+  check Alcotest.bool "cancelled" true (Eventq.is_cancelled q h);
   check Alcotest.int "size skips cancelled" 1 (Eventq.size q);
   check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "skips dead"
     (Some (2, "alive")) (Eventq.pop q)
@@ -264,7 +264,7 @@ let test_eventq_peek () =
   let h = Eventq.schedule q ~at:7 () in
   ignore (Eventq.schedule q ~at:9 ());
   check (Alcotest.option Alcotest.int) "peek min" (Some 7) (Eventq.peek_time q);
-  Eventq.cancel h;
+  Eventq.cancel q h;
   check (Alcotest.option Alcotest.int) "peek skips cancelled" (Some 9) (Eventq.peek_time q)
 
 (* Regression for the O(1) size counter: double-cancel, cancel after the
@@ -276,14 +276,14 @@ let test_eventq_size_counter_exact () =
   let h2 = Eventq.schedule q ~at:2 "b" in
   ignore (Eventq.schedule q ~at:3 "c");
   check Alcotest.int "three live" 3 (Eventq.size q);
-  Eventq.cancel h1;
-  Eventq.cancel h1;
+  Eventq.cancel q h1;
+  Eventq.cancel q h1;
   check Alcotest.int "double cancel counts once" 2 (Eventq.size q);
   ignore (Eventq.pop q);
   check Alcotest.int "pop of live event" 1 (Eventq.size q);
   (* h2 already left the heap via the pop above (the cancelled h1 was
      skipped); cancelling it now must not decrement anything *)
-  Eventq.cancel h2;
+  Eventq.cancel q h2;
   check Alcotest.int "cancel after pop is a no-op" 1 (Eventq.size q);
   check Alcotest.bool "not empty" false (Eventq.is_empty q);
   ignore (Eventq.pop q);
@@ -324,7 +324,7 @@ let prop_eventq_size_matches_reference =
           | 1 ->
               if !n_handles > 0 then begin
                 let h, id = List.nth !handles (x mod !n_handles) in
-                Eventq.cancel h;
+                Eventq.cancel q h;
                 (* absent when already popped or already cancelled: in
                    both cases the live set must not shrink again *)
                 Hashtbl.remove live id
@@ -357,6 +357,141 @@ let test_eventq_negative_time () =
   let q = Eventq.create () in
   Alcotest.check_raises "negative" (Invalid_argument "Eventq.schedule: negative time")
     (fun () -> ignore (Eventq.schedule q ~at:(-1) ()))
+
+(* Stale-generation rejection: a handle whose event already popped must not
+   be able to cancel the event that later reuses its slot.  The free list
+   hands the just-freed slot straight back, so the second schedule reuses
+   the first one's slot with a bumped generation. *)
+let test_eventq_stale_generation () =
+  let q = Eventq.create () in
+  let old = Eventq.schedule q ~at:1 "old" in
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "old pops"
+    (Some (1, "old")) (Eventq.pop q);
+  let fresh = Eventq.schedule q ~at:2 "new" in
+  Eventq.cancel q old;
+  check Alcotest.bool "stale handle reports nothing cancelled" false
+    (Eventq.is_cancelled q old);
+  check Alcotest.bool "slot's new occupant untouched" false
+    (Eventq.is_cancelled q fresh);
+  check Alcotest.int "still one live event" 1 (Eventq.size q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string))
+    "new event survives the stale cancel" (Some (2, "new")) (Eventq.pop q)
+
+(* Satellite: interleaved peek/cancel/pop must keep the lazy-cancellation
+   bookkeeping exact — [size] never negative, no slot leaked, the
+   cancelled-in-heap counter matching a recount — checked by the debug
+   invariant walk after every operation. *)
+let test_eventq_invariants_interleaved () =
+  let q = Eventq.create () in
+  Eventq.check_invariants q;
+  (* enough events to force two heap growths past the initial capacity *)
+  let handles = Array.init 70 (fun i -> Eventq.schedule q ~at:(i / 3) i) in
+  Eventq.check_invariants q;
+  Array.iteri (fun i h -> if i mod 3 = 0 then Eventq.cancel q h) handles;
+  Eventq.check_invariants q;
+  let next_cancel = ref 0 in
+  let rec drain () =
+    match Eventq.peek_time q with
+    | None -> ()
+    | Some at ->
+        (* cancel mid-drain: live, already-cancelled, and already-popped
+           handles all come through here — each must be idempotent *)
+        if !next_cancel < Array.length handles then begin
+          Eventq.cancel q handles.(!next_cancel);
+          Eventq.cancel q handles.(!next_cancel);
+          incr next_cancel
+        end;
+        Eventq.check_invariants q;
+        (match Eventq.pop q with
+        | Some (at', _) ->
+            if at' < at then Alcotest.fail "pop went backwards past peek"
+        | None -> ());
+        check Alcotest.bool "size never negative" true (Eventq.size q >= 0);
+        Eventq.check_invariants q;
+        drain ()
+  in
+  drain ();
+  check Alcotest.int "drained" 0 (Eventq.size q);
+  Eventq.check_invariants q
+
+(* Acceptance gate: steady-state schedule/pop on the flat heap allocates
+   nothing.  [pop_exn] avoids the option/tuple of [pop]; the handle is an
+   immediate int.  The small tolerance covers the boxed floats the two
+   [Gc.minor_words] calls themselves return — 10k round trips at even one
+   word each would blow far past it. *)
+let test_eventq_zero_alloc () =
+  let q = Eventq.create () in
+  for i = 1 to 8 do
+    ignore (Eventq.schedule q ~at:i ())
+  done;
+  for i = 9 to 100 do
+    ignore (Eventq.schedule q ~at:i ());
+    Eventq.pop_exn q
+  done;
+  let before = Gc.minor_words () in
+  for i = 101 to 10_100 do
+    ignore (Eventq.schedule q ~at:i ());
+    Eventq.pop_exn q
+  done;
+  let words = Gc.minor_words () -. before in
+  if words >= 64.0 then
+    Alcotest.failf "steady-state schedule/pop allocated %.0f minor words" words
+
+(* Satellite: the flat SoA heap against a naive sorted-list reference
+   through random schedule/cancel/pop/peek scripts.  The model keeps
+   (time, seq, id) sorted by (time, seq) — FIFO at equal instants — and
+   deletes on cancel; cancelling an id no longer present (double cancel,
+   popped handle, reused slot) deletes nothing, which is exactly the
+   idempotence + stale-generation contract the flat heap must honour. *)
+let prop_eventq_model =
+  let op_gen =
+    QCheck.(
+      list_of_size (Gen.int_range 0 400) (pair (int_range 0 3) (int_range 0 1000)))
+  in
+  QCheck.Test.make ~name:"Eventq matches the sorted-list reference model"
+    ~count:200 op_gen
+    (fun ops ->
+      let q = Eventq.create () in
+      let model = ref [] in
+      let rec insert ((t, s, _) as x) = function
+        | [] -> [ x ]
+        | (t', s', _) :: _ as l when (t, s) < (t', s') -> x :: l
+        | y :: tl -> y :: insert x tl
+      in
+      let handles = ref [] in
+      let n_handles = ref 0 in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, x) ->
+          (match op with
+          | 0 ->
+              let id = !next in
+              incr next;
+              let h = Eventq.schedule q ~at:(x mod 97) id in
+              model := insert (x mod 97, id, id) !model;
+              handles := (h, id) :: !handles;
+              incr n_handles
+          | 1 ->
+              if !n_handles > 0 then begin
+                let h, id = List.nth !handles (x mod !n_handles) in
+                Eventq.cancel q h;
+                model := List.filter (fun (_, _, id') -> id' <> id) !model
+              end
+          | 2 -> (
+              match (Eventq.pop q, !model) with
+              | Some (t, id), (t', _, id') :: tl when t = t' && id = id' ->
+                  model := tl
+              | None, [] -> ()
+              | _ -> ok := false)
+          | _ -> (
+              match (Eventq.peek_time q, !model) with
+              | Some t, (t', _, _) :: _ when t = t' -> ()
+              | None, [] -> ()
+              | _ -> ok := false));
+          if Eventq.size q <> List.length !model then ok := false)
+        ops;
+      !ok)
 
 (* ---- Engine ---- *)
 
@@ -399,11 +534,65 @@ let test_engine_every () =
   check Alcotest.int "five firings" 5 !count;
   check Alcotest.int "stops at 50" 50 (Engine.now e)
 
+(* Regression for [every]'s rewrite onto the rearm seam: tick count,
+   interleaving with one-shot events (including the FIFO tie at t=10,
+   where the earlier-scheduled periodic event fires first), and the
+   engine's fired-event total are exactly what the closure-per-tick
+   implementation produced. *)
+let test_engine_every_rearm_regression () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let ticks = ref 0 in
+  Engine.every e ~period:10 (fun () ->
+      incr ticks;
+      log := Printf.sprintf "tick@%d" (Engine.now e) :: !log;
+      !ticks < 3);
+  ignore (Engine.at e 5 (fun () -> log := "a@5" :: !log));
+  ignore (Engine.at e 10 (fun () -> log := "b@10" :: !log));
+  ignore (Engine.at e 25 (fun () -> log := "c@25" :: !log));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "ordering unchanged"
+    [ "a@5"; "tick@10"; "b@10"; "tick@20"; "c@25"; "tick@30" ]
+    (List.rev !log);
+  check Alcotest.int "events_fired unchanged" 6 (Engine.events_fired e);
+  check Alcotest.int "nothing pending" 0 (Engine.pending e);
+  check Alcotest.int "clock at final tick" 30 (Engine.now e)
+
+(* The rearm seam itself: one stable timer, re-armed and disarmed in
+   place; arming an already-armed timer supersedes the pending firing. *)
+let test_engine_timer_rearm () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let tm = Engine.timer e ignore in
+  Engine.set_callback tm (fun () -> fired := Engine.now e :: !fired);
+  check Alcotest.bool "fresh timer disarmed" false (Engine.armed tm);
+  Engine.arm tm ~at:10;
+  check Alcotest.bool "armed" true (Engine.armed tm);
+  Engine.arm tm ~at:20;  (* supersedes the t=10 firing *)
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "only the superseding arm fired" [ 20 ]
+    (List.rev !fired);
+  check Alcotest.bool "disarmed after firing" false (Engine.armed tm);
+  Engine.arm_after tm 5;
+  Engine.disarm tm;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "disarm cancels" [ 20 ] (List.rev !fired);
+  (* recurring returns the live timer: disarming it stops the series *)
+  let n = ref 0 in
+  let rt =
+    Engine.recurring e ~period:7 (fun () ->
+        incr n;
+        true)
+  in
+  ignore (Engine.at e (Engine.now e + 22) (fun () -> Engine.disarm rt));
+  Engine.run e;
+  check Alcotest.int "three periods before the disarm" 3 !n
+
 let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.at e 10 (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   check Alcotest.bool "cancelled never fires" false !fired
 
@@ -482,20 +671,20 @@ let prop_cancel_idempotent =
         List.map
           (fun (at, cancel) ->
             let h = Engine.at engine at (fun () -> incr fired) in
-            if cancel then Engine.cancel h;
+            if cancel then Engine.cancel engine h;
             h)
           evs
       in
       (* double-cancel before the run *)
       List.iter2
-        (fun h (_, cancel) -> if cancel then Engine.cancel h)
+        (fun h (_, cancel) -> if cancel then Engine.cancel engine h)
         handles evs;
       Engine.run engine;
       let expected = List.length (List.filter (fun (_, c) -> not c) evs) in
       let fired_before = !fired in
       (* cancel every handle — fired and cancelled alike — twice over *)
-      List.iter Engine.cancel handles;
-      List.iter Engine.cancel handles;
+      List.iter (Engine.cancel engine) handles;
+      List.iter (Engine.cancel engine) handles;
       ignore (Engine.at engine 20_000 (fun () -> incr fired));
       Engine.run engine;
       fired_before = expected && !fired = fired_before + 1)
@@ -533,12 +722,22 @@ let suite =
     Alcotest.test_case "eventq: negative time" `Quick test_eventq_negative_time;
     Alcotest.test_case "eventq: size counter exact" `Quick
       test_eventq_size_counter_exact;
+    Alcotest.test_case "eventq: stale generation" `Quick
+      test_eventq_stale_generation;
+    Alcotest.test_case "eventq: invariants interleaved" `Quick
+      test_eventq_invariants_interleaved;
+    Alcotest.test_case "eventq: zero-alloc steady state" `Quick
+      test_eventq_zero_alloc;
     qtest prop_eventq_size_matches_reference;
     qtest prop_eventq_sorted;
+    qtest prop_eventq_model;
     Alcotest.test_case "engine: ordering" `Quick test_engine_ordering;
     Alcotest.test_case "engine: until" `Quick test_engine_until;
     Alcotest.test_case "engine: until empty" `Quick test_engine_until_empty_queue;
     Alcotest.test_case "engine: every" `Quick test_engine_every;
+    Alcotest.test_case "engine: every rearm regression" `Quick
+      test_engine_every_rearm_regression;
+    Alcotest.test_case "engine: timer rearm seam" `Quick test_engine_timer_rearm;
     Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
     Alcotest.test_case "engine: past raises" `Quick test_engine_past_raises;
     Alcotest.test_case "engine: nested" `Quick test_engine_nested_schedule;
