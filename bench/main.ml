@@ -346,9 +346,10 @@ let print_obs_bench () =
    the shared Runtime_core substrate: a fixed batch of short requests is
    driven end to end through a small simulated machine, so the slope
    divided by the batch size is the per-request cost of admit, dequeue,
-   switch accounting, completion and re-dispatch.  All three runtimes —
-   percpu, centralized and hybrid — run the identical lifecycle substrate;
-   the spread between them is the cost of each dispatch mechanism on top. *)
+   switch accounting, completion and re-dispatch.  All four runtimes —
+   percpu, centralized, hybrid and worksteal — run the identical lifecycle
+   substrate; the spread between them is the cost of each dispatch
+   mechanism on top. *)
 module Machine = Skyloft_hw.Machine
 module Topology = Skyloft_hw.Topology
 module Kmod = Skyloft_kernel.Kmod
@@ -411,6 +412,18 @@ let bench_core_hybrid () =
       ignore
         (Skyloft.Hybrid.submit rt lc ~name:"r" ~record:false (core_request ())))
 
+let bench_core_worksteal () =
+  let engine, machine, kmod = core_small_machine () in
+  let rt =
+    Skyloft.Worksteal.create machine kmod
+      ~cores:[ 0; 1; 2; 3; 4 ]
+      ~quantum:(Time'.us 30) ()
+  in
+  let lc = Skyloft.Worksteal.create_app rt ~name:"lc" in
+  core_drive engine (fun () ->
+      ignore
+        (Skyloft.Worksteal.spawn rt lc ~name:"r" ~record:false (core_request ())))
+
 (* The same three loops with the flight recorder attached: every span and
    scheduling instant is recorded into the flat binary ring, so the delta
    against the untraced numbers is the full tracing tax.  The ring is
@@ -466,7 +479,22 @@ let bench_core_hybrid_traced =
             (Skyloft.Hybrid.submit rt lc ~name:"r" ~record:false
                (core_request ()))))
 
-let core_runtime_names = [ "percpu"; "centralized"; "hybrid" ]
+let bench_core_worksteal_traced =
+  core_traced (fun trace ->
+      let engine, machine, kmod = core_small_machine () in
+      let rt =
+        Skyloft.Worksteal.create machine kmod
+          ~cores:[ 0; 1; 2; 3; 4 ]
+          ~quantum:(Time'.us 30) ()
+      in
+      Skyloft.Worksteal.set_trace rt trace;
+      let lc = Skyloft.Worksteal.create_app rt ~name:"lc" in
+      core_drive engine (fun () ->
+          ignore
+            (Skyloft.Worksteal.spawn rt lc ~name:"r" ~record:false
+               (core_request ()))))
+
+let core_runtime_names = [ "percpu"; "centralized"; "hybrid"; "worksteal" ]
 
 let core_tests =
   Test.make_grouped ~name:"runtime-core"
@@ -474,10 +502,13 @@ let core_tests =
       Test.make ~name:"percpu" (Staged.stage bench_core_percpu);
       Test.make ~name:"centralized" (Staged.stage bench_core_centralized);
       Test.make ~name:"hybrid" (Staged.stage bench_core_hybrid);
+      Test.make ~name:"worksteal" (Staged.stage bench_core_worksteal);
       Test.make ~name:"percpu-traced" (Staged.stage bench_core_percpu_traced);
       Test.make ~name:"centralized-traced"
         (Staged.stage bench_core_centralized_traced);
       Test.make ~name:"hybrid-traced" (Staged.stage bench_core_hybrid_traced);
+      Test.make ~name:"worksteal-traced"
+        (Staged.stage bench_core_worksteal_traced);
     ]
 
 (* ---- trace push: flat ring vs the boxed representation ------------------- *)
@@ -720,7 +751,7 @@ let print_core_bench () =
            Printf.sprintf "%+.0f%%" ((traced -. plain) /. plain *. 100.);
          ])
        core_runtime_names);
-  E.Report.note "all three runtimes share the Runtime_core lifecycle substrate;";
+  E.Report.note "all four runtimes share the Runtime_core lifecycle substrate;";
   E.Report.note "the spread is each dispatch mechanism's cost on top of it";
   let push_results = run_bench trace_push_tests in
   let per_event name =

@@ -98,6 +98,10 @@ let experiments : (string * string * (E.Config.t -> unit)) list =
     ( "hybrid",
       "hybrid runtime vs both parents (ablation A5 only)",
       fun c -> ignore (E.Ablations.a5_hybrid_vs_parents c) );
+    ( "worksteal",
+      "work-stealing runtime vs the other three across arrival regimes \
+       (ablation A6 only)",
+      fun c -> ignore (E.Ablations.a6_worksteal_regimes c) );
     ( "scale",
       "scenario DSL x runtime sweep at millions of requests per cell",
       fun c -> ignore (E.Scale.print c) );

@@ -49,6 +49,29 @@ let pop_tail t =
       unlink t node;
       Some node.task
 
+let pop_tail_n t n =
+  let rec go n acc =
+    if n <= 0 then List.rev acc
+    else
+      match pop_tail t with
+      | None -> List.rev acc
+      | Some task -> go (n - 1) (task :: acc)
+  in
+  go n []
+
+let steal_half ~from ~into =
+  (* Under owner-head LIFO the oldest tasks sit at the tail; moving them
+     tail-first and appending at [into]'s tail keeps them oldest-first at
+     [into]'s head, so the thief's pop_head runs them in arrival order. *)
+  let want = (from.len + 1) / 2 in
+  let moved = ref 0 in
+  List.iter
+    (fun task ->
+      push_tail into task;
+      incr moved)
+    (pop_tail_n from want);
+  !moved
+
 let peek_head t = match t.head with None -> None | Some node -> Some node.task
 
 let remove t task =

@@ -15,6 +15,18 @@ val push_tail : t -> Task.t -> unit
 val push_head : t -> Task.t -> unit
 val pop_head : t -> Task.t option
 val pop_tail : t -> Task.t option
+
+val pop_tail_n : t -> int -> Task.t list
+(** [pop_tail_n q n] pops up to [n] tasks from the tail, returned in pop
+    order (tail-first — oldest-first when the owner pushes at the head). *)
+
+val steal_half : from:t -> into:t -> int
+(** Move the tail half of [from] (rounded up, so a single queued task is
+    stealable) to the tail of [into], preserving tail-first order; returns
+    the number moved.  This is the steal-half grab of a work-stealing
+    deque: the thief takes the victim's oldest tasks in one operation and
+    will then pop them oldest-first from its own head. *)
+
 val peek_head : t -> Task.t option
 val remove : t -> Task.t -> bool
 (** [remove q task] takes [task] out of [q]; [false] if it was not there. *)

@@ -8,6 +8,7 @@ module App = Skyloft.App
 module Percpu = Skyloft.Percpu
 module Centralized = Skyloft.Centralized
 module Hybrid = Skyloft.Hybrid
+module Worksteal = Skyloft.Worksteal
 module Coro = Skyloft_sim.Coro
 module Dist = Skyloft_sim.Dist
 module Nic = Skyloft_net.Nic
@@ -28,7 +29,10 @@ module Histogram = Skyloft_stats.Histogram
       user-interrupt (MSI) delivery.
     - A5 the hybrid runtime vs both parents: the mode-switching runtime
       built on the shared Runtime_core substrate, at low and high load
-      against pure per-CPU and pure centralized dispatch. *)
+      against pure per-CPU and pure centralized dispatch.
+    - A6 the work-stealing deque runtime against the other three across
+      arrival regimes — where steal-half decentralization beats the
+      hybrid's dispatcher and where it loses (both asserted in-sweep). *)
 
 (* ---- A1: tick frequency tax -------------------------------------------- *)
 
@@ -363,9 +367,216 @@ let a5_hybrid_vs_parents (config : Config.t) =
   Report.note "the dispatcher — one Runtime_core substrate under all three";
   rows
 
+(* ---- A6: the work-stealing runtime across arrival regimes ---------------- *)
+
+(* Same 8 cores, three arrival regimes, all four runtimes.  The regimes
+   are chosen to pull the steal-half design in opposite directions:
+
+   - skewed: every request carries RSS affinity to a 2-core hot set.  The
+     per-core runtimes honour the pin and must move work off the hot
+     deques themselves (steal probes, migration cachelines, park/unpark
+     round-trips, up to a tick of reaction latency); the dispatcher
+     flavours spread by construction and at this load the hybrid stays
+     central — its single queue is immune to placement skew.
+   - bursty: a batch of requests lands on ONE core every 200 us,
+     round-robin.  Steal-half disperses the burst in O(log batch) grabs,
+     but thieves only notice on their next tick and parked cores pay the
+     resume cost; the centralized flavours serialize the burst through
+     one dispatch loop yet place each request on an idle worker with
+     zero reaction latency (the hybrid also churns across its hysteresis
+     band — mode switches are visible in the notes column).
+   - overload: uniform arrivals at 90% of the 8-core capacity.  That is
+     comfortable for the decentralized runtimes, but any design that
+     surrenders a core to a dispatcher now faces 8/7 of it (~103%) plus
+     the per-request dispatch cost — uniform load that overloads exactly
+     the dispatcher flavours, so their backlog (and p99) grows with the
+     run while steal-half stays stable.
+
+   The sweep asserts the trade-off exists: at least one regime where the
+   work-stealing runtime's p99 beats the hybrid's and at least one where
+   it loses.  A refactor that makes stealing free (or useless) fails. *)
+let a6_worksteal_regimes (config : Config.t) =
+  Report.section
+    "Ablation A6: work-stealing deques vs the other three runtimes across \
+     arrival regimes";
+  let n_cores = 8 in
+  let quantum = Time.us 30 in
+  let service = Dist.Exponential { mean = Time.us 5 } in
+  let cap = float_of_int n_cores *. 1e9 /. Dist.mean service in
+  let horizon = config.duration + Time.ms 60 in
+  let drive_skewed engine rng submit =
+    let i = ref 0 in
+    Loadgen.poisson engine ~rng ~rate_rps:(0.2 *. cap) ~service
+      ~duration:config.duration (fun pkt ->
+        let cpu = !i mod 2 in
+        incr i;
+        submit ~cpu:(Some cpu) ~service:pkt.Skyloft_net.Packet.service)
+  in
+  let drive_bursty engine rng submit =
+    let period = Time.us 200 and batch = 24 in
+    for b = 0 to (config.duration / period) - 1 do
+      ignore
+        (Engine.at engine (b * period) (fun () ->
+             for _ = 1 to batch do
+               submit ~cpu:(Some (b mod n_cores)) ~service:(Dist.sample service rng)
+             done))
+    done
+  in
+  let drive_overload engine rng submit =
+    Loadgen.poisson engine ~rng ~rate_rps:(0.9 *. cap) ~service
+      ~duration:config.duration (fun pkt ->
+        submit ~cpu:None ~service:pkt.Skyloft_net.Packet.service)
+  in
+  let run_percpu drive =
+    let engine = Engine.create ~seed:config.seed () in
+    let machine = Machine.create engine Topology.paper_server in
+    let kmod = Kmod.create machine in
+    let rt =
+      Percpu.create machine kmod ~cores:(List.init n_cores Fun.id)
+        ~timer_hz:100_000
+        (Skyloft_policies.Work_stealing.create ~quantum ())
+    in
+    let app = Percpu.create_app rt ~name:"lc" in
+    let rng = Engine.split_rng engine in
+    drive engine rng (fun ~cpu ~service ->
+        ignore
+          (Percpu.spawn rt app ~name:"req" ?cpu ~service
+             (Coro.compute_then_exit service)));
+    Engine.run ~until:horizon engine;
+    ("percpu", app.App.summary, "-")
+  in
+  let run_centralized drive =
+    let engine = Engine.create ~seed:config.seed () in
+    let machine = Machine.create engine Topology.paper_server in
+    let kmod = Kmod.create machine in
+    let rt =
+      Centralized.create machine kmod ~dispatcher_core:0
+        ~worker_cores:(List.init (n_cores - 1) (fun i -> i + 1))
+        ~quantum
+        (Skyloft_policies.Shinjuku.create ())
+    in
+    let app = Centralized.create_app rt ~name:"lc" in
+    let rng = Engine.split_rng engine in
+    drive engine rng (fun ~cpu:_ ~service ->
+        ignore
+          (Centralized.submit rt app ~name:"req" ~service
+             (Coro.compute_then_exit service)));
+    Engine.run ~until:horizon engine;
+    ("centralized", app.App.summary, "-")
+  in
+  let run_hybrid drive =
+    let engine = Engine.create ~seed:config.seed () in
+    let machine = Machine.create engine Topology.paper_server in
+    let kmod = Kmod.create machine in
+    let rt =
+      Hybrid.create machine kmod ~dispatcher_core:0
+        ~worker_cores:(List.init (n_cores - 1) (fun i -> i + 1))
+        ~quantum
+        (fst (Skyloft_policies.Shinjuku_shenango.create ()))
+    in
+    let app = Hybrid.create_app rt ~name:"lc" in
+    let rng = Engine.split_rng engine in
+    drive engine rng (fun ~cpu:_ ~service ->
+        ignore
+          (Hybrid.submit rt app ~name:"req" ~service
+             (Coro.compute_then_exit service)));
+    Engine.run ~until:horizon engine;
+    ( "hybrid",
+      app.App.summary,
+      Printf.sprintf "%d mode switches" (Hybrid.mode_switches rt) )
+  in
+  let run_worksteal drive =
+    let engine = Engine.create ~seed:config.seed () in
+    let machine = Machine.create engine Topology.paper_server in
+    let kmod = Kmod.create machine in
+    let rt =
+      Worksteal.create machine kmod ~cores:(List.init n_cores Fun.id)
+        ~timer_hz:100_000 ~quantum ()
+    in
+    let app = Worksteal.create_app rt ~name:"lc" in
+    let rng = Engine.split_rng engine in
+    drive engine rng (fun ~cpu ~service ->
+        ignore
+          (Worksteal.spawn rt app ~name:"req" ?cpu ~service
+             (Coro.compute_then_exit service)));
+    Engine.run ~until:horizon engine;
+    ( "worksteal",
+      app.App.summary,
+      Printf.sprintf "%d steals (%d tasks), %d parks" (Worksteal.steals rt)
+        (Worksteal.stolen_tasks rt) (Worksteal.parks rt) )
+  in
+  let regimes =
+    [
+      ("skewed", drive_skewed);
+      ("bursty", drive_bursty);
+      ("overload", drive_overload);
+    ]
+  in
+  let runners = [ run_percpu; run_centralized; run_hybrid; run_worksteal ] in
+  let cells =
+    List.concat_map
+      (fun (rname, drive) -> List.map (fun run -> (rname, drive, run)) runners)
+      regimes
+  in
+  let results =
+    Parallel.map ~jobs:config.jobs
+      (fun (rname, drive, run) -> (rname, run drive))
+      cells
+  in
+  Report.table
+    ~header:[ "regime"; "design"; "served"; "p50 (us)"; "p99 (us)"; "notes" ]
+    (List.map
+       (fun (rname, (design, summary, extra)) ->
+         [
+           rname;
+           design;
+           string_of_int (Summary.requests summary);
+           Report.us (Summary.latency_p summary 50.0);
+           Report.us (Summary.latency_p summary 99.0);
+           extra;
+         ])
+       results);
+  (* The asserted claim: the trade-off is real in both directions. *)
+  let p99_of rname design =
+    match
+      List.find_opt
+        (fun (r, (d, _, _)) -> String.equal r rname && String.equal d design)
+        results
+    with
+    | Some (_, (_, summary, _)) -> Summary.latency_p summary 99.0
+    | None -> failwith "ablation A6: missing cell"
+  in
+  let comparisons =
+    List.map
+      (fun (rname, _) -> (rname, p99_of rname "worksteal", p99_of rname "hybrid"))
+      regimes
+  in
+  let wins = List.filter (fun (_, ws, hy) -> ws < hy) comparisons in
+  let losses = List.filter (fun (_, ws, hy) -> ws > hy) comparisons in
+  if wins = [] then
+    failwith
+      "ablation A6: the work-stealing runtime never beat the hybrid in any \
+       regime — decentralized steal-half should win somewhere";
+  if losses = [] then
+    failwith
+      "ablation A6: the work-stealing runtime never lost to the hybrid — \
+       stealing is not free; some regime must show its cost";
+  List.iter
+    (fun (rname, ws, hy) ->
+      Report.note "%s: worksteal p99 %s vs hybrid %s — stealing %s" rname
+        (Report.us ws) (Report.us hy)
+        (if ws < hy then "wins" else if ws > hy then "loses" else "ties"))
+    comparisons;
+  Report.note
+    "skew and bursts reward the dispatcher's zero-latency placement; high";
+  Report.note
+    "uniform load rewards keeping all 8 cores serving with no dispatcher";
+  results
+
 let print config =
   ignore (a1_tick_frequency config);
   a2_percpu_vs_centralized config;
   ignore (a3_dispatcher_scalability config);
   ignore (a4_nic_modes config);
-  ignore (a5_hybrid_vs_parents config)
+  ignore (a5_hybrid_vs_parents config);
+  ignore (a6_worksteal_regimes config)

@@ -11,6 +11,7 @@ module App = Skyloft.App
 module Centralized = Skyloft.Centralized
 module Percpu = Skyloft.Percpu
 module Hybrid = Skyloft.Hybrid
+module Worksteal = Skyloft.Worksteal
 module Allocator = Skyloft_alloc.Allocator
 module Alloc_policy = Skyloft_alloc.Policy
 module Nic = Skyloft_net.Nic
@@ -51,10 +52,15 @@ let poison_service = Time.ms 1
 let poison_deadline = Time.ms 2
 let fault_rates = [ 0.0; 0.01; 0.05 ]
 
-type runtime = Central | Percore | Hybridized
+type runtime = Central | Percore | Hybridized | Stealing
 
 let runtimes =
-  [ ("centralized", Central); ("percpu", Percore); ("hybrid", Hybridized) ]
+  [
+    ("centralized", Central);
+    ("percpu", Percore);
+    ("hybrid", Hybridized);
+    ("worksteal", Stealing);
+  ]
 
 (* Fault intensity [rate] scales every class: IPI drop/delay probability is
    [rate] per delivery, one 30 µs core steal every [30 µs / rate], one
@@ -196,6 +202,39 @@ let make_percpu machine kmod =
     allocator = (fun () -> Percpu.allocator rt);
   }
 
+let make_worksteal machine kmod =
+  let rt =
+    Worksteal.create machine kmod ~cores:percpu_cores ~timer_hz:100_000
+      ~quantum ~watchdog:watchdog_bound ()
+  in
+  let lc = Worksteal.create_app rt ~name:"lc" in
+  let be = Worksteal.create_app rt ~name:"batch" in
+  Worksteal.attach_be_app rt ~alloc:(alloc_cfg ()) be ~chunk:(Time.us 50)
+    ~workers:n_workers;
+  {
+    submit =
+      (fun ~name ~service ~on_drop ~on_done ->
+        ignore
+          (Worksteal.spawn rt lc ~name ~record:false ~deadline
+             ~on_drop:(fun _ -> on_drop ())
+             (Coro.Compute
+                ( service,
+                  fun () ->
+                    on_done ();
+                    Coro.Exit ))));
+    poison =
+      (fun ~core ~service ->
+        ignore
+          (Worksteal.spawn rt lc ~name:"poison" ~cpu:core ~record:false
+             ~deadline:poison_deadline
+             (Coro.Compute (service, fun () -> Coro.Exit))));
+    rescues = (fun () -> Worksteal.watchdog_rescues rt);
+    failovers = (fun () -> 0);
+    deadline_drops = (fun () -> Worksteal.deadline_drops rt);
+    detect = (fun () -> Worksteal.rescue_detection rt);
+    allocator = (fun () -> Worksteal.allocator rt);
+  }
+
 let make_hybrid machine kmod =
   let rt =
     Hybrid.create machine kmod ~dispatcher_core ~worker_cores ~quantum
@@ -239,6 +278,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~rate =
     | Central -> make_centralized machine kmod
     | Percore -> make_percpu machine kmod
     | Hybridized -> make_hybrid machine kmod
+    | Stealing -> make_worksteal machine kmod
   in
   let nic = Nic.create engine ~queues:1 ~ring_capacity () in
   (* Split order is fixed so a zero-rate run draws the same generator
@@ -249,7 +289,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~rate =
   let inject_cores =
     match which with
     | Central | Hybridized -> dispatcher_core :: worker_cores
-    | Percore -> percpu_cores
+    | Percore | Stealing -> percpu_cores
   in
   (match plans rate with
   | [] -> ()

@@ -8,6 +8,7 @@ module Kmod = Skyloft_kernel.Kmod
 module Percpu = Skyloft.Percpu
 module Centralized = Skyloft.Centralized
 module Hybrid = Skyloft.Hybrid
+module Worksteal = Skyloft.Worksteal
 module Trace = Skyloft_stats.Trace
 module Plan = Skyloft_fault.Plan
 module Injector = Skyloft_fault.Injector
@@ -60,6 +61,42 @@ let traced_percpu ~seed =
   done;
   Engine.run ~until:(Time.ms 3) engine;
   (Trace.to_chrome_json trace, Injector.injected inj)
+
+(* The work-stealing counterpart: every task lands on core 0 so the other
+   deques run dry and the trace covers steal-half grabs, failed scans and
+   the park/unpark path, under the same fault classes. *)
+let traced_worksteal ~seed =
+  let engine = Engine.create () in
+  let machine =
+    Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:4)
+  in
+  let kmod = Kmod.create machine in
+  let rt =
+    Worksteal.create machine kmod ~cores:[ 0; 1; 2; 3 ] ~quantum:(Time.us 30)
+      ~watchdog:(Time.us 100) ()
+  in
+  let trace = Trace.create () in
+  Worksteal.set_trace rt trace;
+  let rng = Rng.create ~seed in
+  let inj = Injector.create ~engine ~rng ~trace () in
+  Injector.arm inj
+    { Injector.machine; kmod = Some kmod; nic = None; cores = [ 0; 1; 2; 3 ];
+      poison = None }
+    [
+      Plan.ipi_loss ~p_drop:0.3 ~p_delay:0.3 ~delay:(Time.us 20) ();
+      Plan.core_steal ~period:(Time.us 200) ~duration:(Time.us 50) ();
+    ];
+  let app = Worksteal.create_app rt ~name:"a" in
+  for i = 0 to 39 do
+    ignore
+      (Engine.at engine (i * Time.us 25) (fun () ->
+           ignore
+             (Worksteal.spawn rt app ~cpu:0
+                ~name:(Printf.sprintf "t%d" i)
+                (Coro.Compute (Time.us 10 + (i mod 7 * Time.us 4), fun () -> Coro.Exit)))))
+  done;
+  Engine.run ~until:(Time.ms 3) engine;
+  (Trace.to_chrome_json trace, Injector.injected inj, Worksteal.steals rt)
 
 (* The centralized counterpart: dispatcher + four workers under the same
    fault classes, quantum preemption and the watchdog armed. *)
@@ -192,6 +229,10 @@ let fingerprints ?(jobs = 1) () =
       ( "trace-hybrid",
         fun () ->
           let json, _, _ = traced_hybrid ~seed:trace_seed in
+          digest json );
+      ( "trace-worksteal",
+        fun () ->
+          let json, _, _ = traced_worksteal ~seed:trace_seed in
           digest json );
     ]
     @ List.map

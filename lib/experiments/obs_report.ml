@@ -12,6 +12,7 @@ module App = Skyloft.App
 module Centralized = Skyloft.Centralized
 module Percpu = Skyloft.Percpu
 module Hybrid = Skyloft.Hybrid
+module Worksteal = Skyloft.Worksteal
 module Allocator = Skyloft_alloc.Allocator
 module Alloc_policy = Skyloft_alloc.Policy
 module Nic = Skyloft_net.Nic
@@ -62,10 +63,15 @@ let fault_ns = Time.us 15  (* ...for this long *)
 let page_fault_period = Time.us 500  (* percpu: fault the task on core 0 *)
 let page_fault_ns = Time.us 20
 
-type runtime = Central | Percore | Hybridized
+type runtime = Central | Percore | Hybridized | Stealing
 
 let runtimes =
-  [ ("centralized", Central); ("percpu", Percore); ("hybrid", Hybridized) ]
+  [
+    ("centralized", Central);
+    ("percpu", Percore);
+    ("hybrid", Hybridized);
+    ("worksteal", Stealing);
+  ]
 
 let alloc_cfg () =
   {
@@ -184,6 +190,53 @@ let make_percpu engine machine kmod =
     },
     (fun trace -> Percpu.set_trace rt trace) )
 
+let make_worksteal engine machine kmod =
+  let rt =
+    Worksteal.create machine kmod ~cores:percpu_cores ~timer_hz:100_000
+      ~quantum ~watchdog:watchdog_bound ()
+  in
+  let lc = Worksteal.create_app rt ~name:"lc" in
+  let be = Worksteal.create_app rt ~name:"batch" in
+  Worksteal.attach_be_app rt ~alloc:(alloc_cfg ()) be ~chunk:(Time.us 50)
+    ~workers:n_workers;
+  ( rt,
+    {
+      submit =
+        (fun ~name ~service ~fault ->
+          if fault then begin
+            let s1, s2 = split_service service in
+            let body =
+              Coro.Compute
+                ( s1,
+                  fun () ->
+                    Coro.Block (fun () -> Coro.Compute (s2, fun () -> Coro.Exit))
+                )
+            in
+            let task = Worksteal.spawn rt lc ~service ~name body in
+            ignore
+              (Engine.after engine (s1 + fault_ns) (fun () ->
+                   Worksteal.wakeup rt task))
+          end
+          else
+            ignore
+              (Worksteal.spawn rt lc ~service ~name
+                 (Coro.Compute (service, fun () -> Coro.Exit))));
+      register =
+        (fun reg ->
+          Worksteal.register_metrics rt reg;
+          match Worksteal.allocator rt with
+          | Some a -> Allocator.register_metrics a reg
+          | None -> ());
+      lc;
+      be;
+      queue_series = Worksteal.queue_depth_series rt;
+      alloc = (fun () -> Worksteal.allocator rt);
+      fault_tick =
+        (fun () ->
+          ignore (Worksteal.fault_current rt ~core:0 ~duration:page_fault_ns));
+    },
+    (fun trace -> Worksteal.set_trace rt trace) )
+
 let make_hybrid engine machine kmod =
   let rt =
     Hybrid.create machine kmod ~dispatcher_core ~worker_cores ~quantum
@@ -279,6 +332,9 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
     | Hybridized ->
         let _, iface, set = make_hybrid engine machine kmod in
         (iface, set)
+    | Stealing ->
+        let _, iface, set = make_worksteal engine machine kmod in
+        (iface, set)
   in
   let trace = Trace.create ~capacity:trace_capacity () in
   set_trace trace;
@@ -289,7 +345,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
   let inject_cores =
     match which with
     | Central | Hybridized -> dispatcher_core :: worker_cores
-    | Percore -> percpu_cores
+    | Percore | Stealing -> percpu_cores
   in
   Injector.arm injector
     {
@@ -317,7 +373,7 @@ let run_point (config : Config.t) ~runtime:(rt_name, which) ~instrumented =
   Loadgen.poisson engine ~rng:gen_rng ~rate_rps ~service:Dist.dispersive
     ~duration:config.duration (fun pkt -> Nic.rx nic pkt);
   (match which with
-  | Percore ->
+  | Percore | Stealing ->
       Engine.every engine ~period:page_fault_period (fun () ->
           iface.fault_tick ();
           true)
@@ -431,7 +487,9 @@ let machine_be_rate = 50_000.0
 let machine_be_shape = Shape.Single (Dist.Exponential { mean = Time.us 20 })
 
 let machine_runtime i =
-  List.nth [ Scenario.Percpu; Scenario.Centralized; Scenario.Hybrid ] (i mod 3)
+  List.nth
+    [ Scenario.Percpu; Scenario.Centralized; Scenario.Hybrid; Scenario.Worksteal ]
+    (i mod 4)
 
 let machine_kind i = if i mod 4 = 3 then Alloc_policy.Be else Alloc_policy.Lc
 

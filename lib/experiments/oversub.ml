@@ -47,7 +47,14 @@ let runtime_of ~mix i =
   match mix with
   | "percpu" -> Scenario.Percpu
   | _ ->
-      List.nth [ Scenario.Percpu; Scenario.Centralized; Scenario.Hybrid ] (i mod 3)
+      List.nth
+        [
+          Scenario.Percpu;
+          Scenario.Centralized;
+          Scenario.Hybrid;
+          Scenario.Worksteal;
+        ]
+        (i mod 4)
 
 let kind_of ~mix i =
   if String.equal mix "mixed" && i mod 4 = 3 then Policy.Be else Policy.Lc

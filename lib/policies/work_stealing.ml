@@ -27,6 +27,12 @@ let create ?quantum () : Sched_ops.ctor =
   let n = Array.length view.cores in
   let pos = Hashtbl.create 32 in
   Array.iteri (fun i core -> Hashtbl.replace pos core i) view.cores;
+  (* Per-thief steal cursor: the next scan resumes where the last successful
+     steal left off, so repeated steals spread across victims round-robin
+     instead of draining thief+1 first. *)
+  let cursor = Hashtbl.create 32 in
+  (* Rotation point for wakeups from unmanaged cores when nobody is idle. *)
+  let wake_rr = ref 0 in
   {
     Sched_ops.policy_name =
       (match quantum with Some _ -> "work-stealing-preemptive" | None -> "work-stealing");
@@ -35,20 +41,28 @@ let create ?quantum () : Sched_ops.ctor =
     task_enqueue =
       (fun ~cpu ~reason task ->
         match reason with
-        (* A preempted task goes to the tail so queued short work runs
-           first; yielded and fresh tasks keep FIFO order. *)
-        | Sched_ops.Enq_preempted | Sched_ops.Enq_yielded | Sched_ops.Enq_new
-        | Sched_ops.Enq_woken ->
-            Runqueue.push_tail (q cpu) task);
+        (* A preempted or yielded task goes to the tail so queued short
+           work runs first... *)
+        | Sched_ops.Enq_preempted | Sched_ops.Enq_yielded ->
+            Runqueue.push_tail (q cpu) task
+        (* ...while the owner pushes fresh and woken tasks at the head
+           (LIFO locality: the newest task's state is hottest in cache). *)
+        | Sched_ops.Enq_new | Sched_ops.Enq_woken -> Runqueue.push_head (q cpu) task);
     task_dequeue = (fun ~cpu -> Runqueue.pop_head (q cpu));
     task_block = (fun ~cpu:_ _ -> ());
     task_wakeup =
       (fun ~waker_cpu task ->
         let target =
           if Hashtbl.mem pos waker_cpu then waker_cpu
-          else Sched_ops.wakeup_to_idle_or view ~fallback:view.cores.(0)
+          else begin
+            (* Unmanaged waker: prefer an idle core, else rotate the
+               fallback so repeated wakeups do not hot-spot core 0. *)
+            let fallback = view.cores.(!wake_rr mod n) in
+            wake_rr := (!wake_rr + 1) mod n;
+            Sched_ops.wakeup_to_idle_or view ~fallback
+          end
         in
-        Runqueue.push_tail (q target) task;
+        Runqueue.push_head (q target) task;
         target);
     sched_timer_tick =
       (fun ~cpu task ->
@@ -61,14 +75,23 @@ let create ?quantum () : Sched_ops.ctor =
             && view.now () - task.Task.run_start >= quantum);
     sched_balance =
       (fun ~cpu ->
-        (* round-robin victim scan starting after the thief *)
-        let start = match Hashtbl.find_opt pos cpu with Some i -> i | None -> 0 in
+        (* Round-robin victim scan resuming at the persisted cursor (first
+           scan starts just after the thief), stopping at the first hit. *)
+        let self = match Hashtbl.find_opt pos cpu with Some i -> i | None -> 0 in
+        let start =
+          match Hashtbl.find_opt cursor cpu with
+          | Some i -> i
+          | None -> (self + 1) mod n
+        in
         let stolen = ref None in
-        for k = 1 to n - 1 do
-          if !stolen = None then begin
-            let victim = view.cores.((start + k) mod n) in
-            stolen := Runqueue.pop_tail (q victim)
-          end
+        let k = ref 0 in
+        while !stolen = None && !k < n do
+          let idx = (start + !k) mod n in
+          if idx <> self then begin
+            stolen := Runqueue.pop_tail (q view.cores.(idx));
+            if !stolen <> None then Hashtbl.replace cursor cpu ((idx + 1) mod n)
+          end;
+          incr k
         done;
         !stolen);
   }

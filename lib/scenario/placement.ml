@@ -116,6 +116,33 @@ let make_iface ~machine ~config ~(spec : tenant) ~cores =
               ~labels:[ ("tenant", spec.name) ]
               reg);
       }
+  | Scenario.Worksteal ->
+      let rt =
+        Skyloft.Worksteal.create machine kmod ~cores ~timer_hz:config.timer_hz
+          ~quantum:config.quantum ()
+      in
+      let app = Skyloft.Worksteal.create_app rt ~name:spec.name in
+      {
+        rt_submit =
+          (fun ~name ~service ~on_drop ~on_done ->
+            ignore
+              (Skyloft.Worksteal.spawn rt app ~name ~record:false ~deadline
+                 ~on_drop:(fun _ -> on_drop ())
+                 (Coro.Compute
+                    ( service,
+                      fun () ->
+                        on_done ();
+                        Coro.Exit ))));
+        rt_set_allowance = Skyloft.Worksteal.set_core_allowance rt;
+        rt_congestion = (fun () -> Skyloft.Worksteal.congestion rt);
+        rt_deadline_drops = (fun () -> Skyloft.Worksteal.deadline_drops rt);
+        rt_set_trace = Skyloft.Worksteal.set_trace rt;
+        rt_register =
+          (fun reg ->
+            Skyloft.Worksteal.register_metrics rt
+              ~labels:[ ("tenant", spec.name) ]
+              reg);
+      }
   | Scenario.Centralized ->
       let dispatcher_core = List.hd cores and worker_cores = List.tl cores in
       let rt =
@@ -264,7 +291,7 @@ let run ?(seed = 42) ?(faults = []) ?(config = default_config ()) ?trace
       (fun base t ->
         let extra =
           match t.runtime with
-          | Scenario.Percpu -> 0
+          | Scenario.Percpu | Scenario.Worksteal -> 0
           | Scenario.Centralized | Scenario.Hybrid -> 1
         in
         let width = t.burstable + extra in

@@ -98,14 +98,15 @@ let offered_load t =
 
 (* ---- compilation onto the runtimes -------------------------------------- *)
 
-type runtime = Percpu | Centralized | Hybrid
+type runtime = Percpu | Centralized | Hybrid | Worksteal
 
 let runtime_name = function
   | Percpu -> "percpu"
   | Centralized -> "centralized"
   | Hybrid -> "hybrid"
+  | Worksteal -> "worksteal"
 
-let runtimes = [ Percpu; Centralized; Hybrid ]
+let runtimes = [ Percpu; Centralized; Hybrid; Worksteal ]
 
 type tenant_digest = {
   tenant : string;
@@ -233,6 +234,30 @@ let make_iface ~machine ~kmod ~runtime ~cores ~timer_hz ~quantum ~be_bounds =
         be_preemptions = (fun () -> Skyloft.Hybrid.be_preemptions rt);
         allocator = (fun () -> Skyloft.Hybrid.allocator rt);
       }
+  | Worksteal ->
+      let rt =
+        Skyloft.Worksteal.create machine kmod ~cores:(List.init cores Fun.id)
+          ~timer_hz ~quantum ()
+      in
+      {
+        submit =
+          (fun app ~name ~service ~on_done ->
+            ignore
+              (Skyloft.Worksteal.spawn rt app ~name ~record:false
+                 (Coro.Compute
+                    ( service,
+                      fun () ->
+                        on_done ();
+                        Coro.Exit ))));
+        create_app = (fun ~name -> Skyloft.Worksteal.create_app rt ~name);
+        attach_be =
+          (fun app ~chunk ~workers ->
+            let bounds = Option.get be_bounds in
+            Skyloft.Worksteal.attach_be_app rt ~alloc:(alloc_config bounds) app
+              ~chunk ~workers);
+        be_preemptions = (fun () -> Skyloft.Worksteal.be_preemptions rt);
+        allocator = (fun () -> Skyloft.Worksteal.allocator rt);
+      }
 
 type lc_state = {
   l_spec : lc_spec;
@@ -259,7 +284,7 @@ let run ?(seed = 42) ~requests ~runtime scenario =
   let engine = Engine.create ~seed () in
   let topo_cores =
     match runtime with
-    | Percpu -> scenario.cores
+    | Percpu | Worksteal -> scenario.cores
     | Centralized | Hybrid -> scenario.cores + 1
   in
   let machine =

@@ -14,7 +14,7 @@ module Histogram = Skyloft_stats.Histogram
       tagged LC or BE, the BE tenant carrying guaranteed/burstable core
       bounds that feed the {!Skyloft_alloc} allocator.
 
-    {!run} compiles any scenario onto any of the three runtimes through
+    {!run} compiles any scenario onto any of the four runtimes through
     {!Skyloft_net.Loadgen.stream} and returns only mergeable streaming
     digests — per-tenant log-linear histograms and counters, never
     per-request records — so a cell can run 10⁷+ requests in bounded
@@ -79,7 +79,7 @@ val offered_load : t -> float
 
 (** {1 Compilation} *)
 
-type runtime = Percpu | Centralized | Hybrid
+type runtime = Percpu | Centralized | Hybrid | Worksteal
 
 val runtime_name : runtime -> string
 val runtimes : runtime list
@@ -107,8 +107,9 @@ type digest = {
 
 val run : ?seed:int -> requests:int -> runtime:runtime -> t -> digest
 (** Compile and run one cell: build the runtime (work-stealing per-CPU,
-    Shinjuku-Shenango centralized, or the hybrid), create one app per
-    tenant, attach the BE tenant to the allocator with its bounds, drive
+    Shinjuku-Shenango centralized, the hybrid, or the steal-half deque
+    runtime), create one app per tenant, attach the BE tenant to the
+    allocator with its bounds, drive
     every LC tenant's arrival process through
     {!Skyloft_net.Loadgen.stream} until [requests] arrivals have been
     issued in total, then drain until every submitted request completed

@@ -63,6 +63,91 @@ let test_runqueue_double_insert_rejected () =
        false
      with Invalid_argument _ -> true)
 
+let rq_names q = List.map (fun (t : Task.t) -> t.name) (Runqueue.to_list q)
+
+let test_runqueue_pop_tail_drain () =
+  let q = Runqueue.create () in
+  List.iter (fun n -> Runqueue.push_tail q (mk_task n)) [ "a"; "b"; "c" ];
+  let pop () =
+    match Runqueue.pop_tail q with Some t -> t.Task.name | None -> "-"
+  in
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  let p4 = pop () in
+  check (Alcotest.list Alcotest.string) "tail-first drain then empty"
+    [ "c"; "b"; "a"; "-" ] [ p1; p2; p3; p4 ];
+  check Alcotest.bool "empty after drain" true (Runqueue.is_empty q)
+
+let test_runqueue_remove_ends () =
+  let q = Runqueue.create () in
+  let a = mk_task "a" and b = mk_task "b" and c = mk_task "c" in
+  List.iter (Runqueue.push_tail q) [ a; b; c ];
+  check Alcotest.bool "remove head" true (Runqueue.remove q a);
+  check (Alcotest.list Alcotest.string) "b c left" [ "b"; "c" ] (rq_names q);
+  check Alcotest.bool "remove tail" true (Runqueue.remove q c);
+  check (Alcotest.list Alcotest.string) "b left" [ "b" ] (rq_names q);
+  check Alcotest.bool "remove last" true (Runqueue.remove q b);
+  check Alcotest.bool "empty" true (Runqueue.is_empty q);
+  check Alcotest.bool "remove from empty is false" false (Runqueue.remove q b)
+
+let test_runqueue_repush_after_remove () =
+  let q = Runqueue.create () in
+  let a = mk_task "a" and b = mk_task "b" in
+  List.iter (Runqueue.push_tail q) [ a; b ];
+  check Alcotest.bool "remove a" true (Runqueue.remove q a);
+  (* a removed task is fully unlinked: re-pushing must not raise and must
+     land at the requested end *)
+  Runqueue.push_tail q a;
+  check (Alcotest.list Alcotest.string) "b a after re-push" [ "b"; "a" ]
+    (rq_names q);
+  check Alcotest.bool "remove b" true (Runqueue.remove q b);
+  Runqueue.push_head q b;
+  check (Alcotest.list Alcotest.string) "b a after head re-push" [ "b"; "a" ]
+    (rq_names q)
+
+let test_runqueue_steal_half () =
+  let victim = Runqueue.create () and thief = Runqueue.create () in
+  (* owner-head LIFO: push_head in arrival order, so the tail is oldest *)
+  List.iter (fun n -> Runqueue.push_head victim (mk_task n)) [ "t1"; "t2"; "t3"; "t4"; "t5" ];
+  let moved = Runqueue.steal_half ~from:victim ~into:thief in
+  check Alcotest.int "ceil(5/2) moved" 3 moved;
+  check (Alcotest.list Alcotest.string) "victim keeps the newest"
+    [ "t5"; "t4" ] (rq_names victim);
+  check (Alcotest.list Alcotest.string) "thief got the oldest, oldest-first"
+    [ "t1"; "t2"; "t3" ] (rq_names thief);
+  (* a single queued task is stealable (rounding up) *)
+  let v1 = Runqueue.create () and th1 = Runqueue.create () in
+  Runqueue.push_head v1 (mk_task "solo");
+  check Alcotest.int "1 of 1 moved" 1 (Runqueue.steal_half ~from:v1 ~into:th1);
+  check Alcotest.bool "victim empty" true (Runqueue.is_empty v1);
+  check Alcotest.int "nothing to steal from empty" 0
+    (Runqueue.steal_half ~from:v1 ~into:th1)
+
+(* Model test: steal-half against a plain-list reference.  The victim is
+   an owner-head LIFO deque holding tasks 1..n (n from the generator); the
+   reference splits the arrival-ordered list — the thief must get the
+   oldest ceil(n/2) in arrival order, the victim must keep the newest
+   floor(n/2) in LIFO order. *)
+let prop_runqueue_steal_half_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"steal-half matches the list model" ~count:100
+       QCheck.(int_bound 40)
+       (fun n ->
+         let victim = Runqueue.create () and thief = Runqueue.create () in
+         let arrival = List.init n (fun i -> Printf.sprintf "m%d" i) in
+         List.iter (fun name -> Runqueue.push_head victim (mk_task name)) arrival;
+         let moved = Runqueue.steal_half ~from:victim ~into:thief in
+         let want = (n + 1) / 2 in
+         let expect_thief = List.filteri (fun i _ -> i < want) arrival in
+         let expect_victim =
+           List.rev (List.filteri (fun i _ -> i >= want) arrival)
+         in
+         moved = want
+         && rq_names thief = expect_thief
+         && rq_names victim = expect_victim
+         && Runqueue.length victim + Runqueue.length thief = n))
+
 let prop_runqueue_fifo_order =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"runqueue preserves FIFO order" ~count:100
@@ -481,6 +566,12 @@ let suite =
     Alcotest.test_case "runqueue: fifo + deque" `Quick test_runqueue_fifo;
     Alcotest.test_case "runqueue: remove" `Quick test_runqueue_remove;
     Alcotest.test_case "runqueue: double insert" `Quick test_runqueue_double_insert_rejected;
+    Alcotest.test_case "runqueue: pop_tail drains" `Quick test_runqueue_pop_tail_drain;
+    Alcotest.test_case "runqueue: remove head/tail/last" `Quick test_runqueue_remove_ends;
+    Alcotest.test_case "runqueue: re-push after remove" `Quick
+      test_runqueue_repush_after_remove;
+    Alcotest.test_case "runqueue: steal-half" `Quick test_runqueue_steal_half;
+    prop_runqueue_steal_half_model;
     prop_runqueue_fifo_order;
     Alcotest.test_case "percpu: runs a task" `Quick test_percpu_runs_task;
     Alcotest.test_case "percpu: parallelism" `Quick test_percpu_parallelism;

@@ -29,6 +29,16 @@ let test_hybrid_trace_byte_identical () =
   check bool "traces byte-identical at the same seed" true
     (String.equal json1 json2)
 
+let test_worksteal_trace_byte_identical () =
+  let json1, injected1, steals1 = E.Golden.traced_worksteal ~seed:1234 in
+  let json2, injected2, steals2 = E.Golden.traced_worksteal ~seed:1234 in
+  check bool "faults were actually injected" true (injected1 > 0);
+  check bool "the pinned backlog was actually stolen" true (steals1 > 0);
+  check int "same injection count" injected1 injected2;
+  check int "same steal count" steals1 steals2;
+  check bool "traces byte-identical at the same seed" true
+    (String.equal json1 json2)
+
 let test_sweep_point_reproducible () =
   let config = { E.Config.duration = Time.ms 5; seed = 11; jobs = 1; requests = None } in
   List.iter
@@ -72,36 +82,58 @@ let test_obs_registry_transparent () =
 
 (* The committed goldens.  The percpu and centralized values predate the
    Runtime_core extraction: both runtimes rewritten over the shared
-   substrate reproduce their original behaviour to the byte. *)
+   substrate reproduce their original behaviour to the byte.
+
+   Regenerated intentionally with the work-stealing steal-loop bugfix
+   (owner-head LIFO with preempted-to-tail, persisted per-thief steal
+   cursor with early break, rotating unmanaged-waker fallback):
+   - the scale-*-percpu cells run the fixed Work_stealing policy under
+     sustained queueing, where LIFO pops and the rotated fallback are
+     visible;
+   - obs-machine and oversub-* additionally rotate their mixed tenant
+     fleets through all FOUR runtimes now (worksteal included).
+   Every centralized and hybrid cell, trace-percpu (Fifo policy), and
+   even fault-sweep-percpu / obs-report-percpu — whose queues rarely
+   exceed depth 1, so head-vs-tail is indistinguishable — reproduce
+   their previous bytes exactly. *)
 let golden =
   [
     ("trace-percpu", "9c64a29436da6fcec0dc0f6163d2b289");
     ("trace-centralized", "955699be07fb44fc55c69cde49b8a3c2");
     ("trace-hybrid", "d0d03b164a30aa1e8594db8b407306cd");
+    (* all tasks pinned to core 0: steal-half grabs, failed scans and the
+       park/unpark path are all on the golden path *)
+    ("trace-worksteal", "dbf58cf4269bd6c204ba29aaa0f8a2f3");
     ("fault-sweep-centralized", "68465e416532f1c4e86396a3ade56a41");
     ("fault-sweep-percpu", "c75bbf972b642cb524545d99ab748a19");
     ("fault-sweep-hybrid", "5df7e275881371c38e2b6e33e3f41b60");
+    ("fault-sweep-worksteal", "9bca178607b09f7fa55e4ee781be4b7d");
     ("obs-report-centralized", "8661815e83e556500087e0615508cdea");
     ("obs-report-percpu", "15d4959e4628708894c4151cdb1e7e1b");
     ("obs-report-hybrid", "2b8295ae9d0b0b633242042411c74f0c");
-    (* machine-level obs point: brokered 4-tenant fleet, shared flight
-       recorder, all three tenant faults — trace JSON + placement digest *)
-    ("obs-machine", "59c8c81378f298210a476e33e62e6b0e");
+    ("obs-report-worksteal", "460d391d28a7b1fcb47f0bbc666b117c");
+    (* machine-level obs point: brokered 4-tenant fleet (one tenant per
+       runtime), shared flight recorder, all three tenant faults — trace
+       JSON + placement digest *)
+    ("obs-machine", "dc0dc273410d80249923d53f00d417d8");
     (* scenario-DSL cells: 30k requests through the scale compile path *)
-    ("scale-steady-pareto-percpu", "628c483b5bb73dd1b04f8169d1a31292");
+    ("scale-steady-pareto-percpu", "66ec7116948f66804d148c3a56384aee");
     ("scale-steady-pareto-centralized", "0fe7a85605c82f6d8c68d13b820622e9");
     ("scale-steady-pareto-hybrid", "79733c6e39acec77d7404c6a98921ea8");
-    ("scale-bursty-mmpp-percpu", "edcb239fb33c9d769b60bd468c04b644");
+    ("scale-steady-pareto-worksteal", "8539def246537560ede6cd76d71fff8c");
+    ("scale-bursty-mmpp-percpu", "4d28fb5d5f10df68de534bf4b0006bce");
     ("scale-bursty-mmpp-centralized", "bca46aad79898bf490b75091ba8a3dcc");
     ("scale-bursty-mmpp-hybrid", "4d05f92172daf794a9cae5bac99b7a82");
-    ("scale-tenant-mix-percpu", "408a0b03939892f7614a351acfb2b035");
+    ("scale-bursty-mmpp-worksteal", "d20f617894d1f0776e37e8c3a3630cc1");
+    ("scale-tenant-mix-percpu", "01ed0d8859ff0e93b234804194346192");
     ("scale-tenant-mix-centralized", "2bf6238e0d5777cc0a9883bdaf7a50e7");
     ("scale-tenant-mix-hybrid", "73d3dfbb760010794372732c471ab1d4");
+    ("scale-tenant-mix-worksteal", "226bbfa081ae3183297d67a096dc76a0");
     (* oversub cells: a 4-tenant mixed-runtime placement under the core
        broker, fault-free / hoarding / crashing tenant 0 *)
-    ("oversub-none", "0c18ff2fab464b7e911e3febf02a372c");
-    ("oversub-hoard", "d43273295d3200cb97817e190973274b");
-    ("oversub-crash", "b79f3b409d26f6d02c09755c087ffdbe");
+    ("oversub-none", "4fb3504f19b2857ce769c63bc644109a");
+    ("oversub-hoard", "cd6f734caa0563036d19da85e22e6c2a");
+    ("oversub-crash", "e7f42711ea32e5c4ec65fd2e0c87a8f0");
   ]
 
 let check_golden got =
@@ -125,6 +157,8 @@ let suite =
     test_case "trace bytes reproduce under faults" `Quick test_trace_byte_identical;
     test_case "hybrid trace reproduces across both modes" `Quick
       test_hybrid_trace_byte_identical;
+    test_case "worksteal trace reproduces across steals and parks" `Quick
+      test_worksteal_trace_byte_identical;
     test_case "sweep point reproduces" `Slow test_sweep_point_reproducible;
     test_case "fault-free sweep reproduces" `Quick test_sweep_fault_free_reproducible;
     test_case "metrics registry is transparent" `Quick test_obs_registry_transparent;

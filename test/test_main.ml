@@ -9,6 +9,7 @@ let () =
       ("broker", Test_broker.suite);
       ("core", Test_core.suite);
       ("runtime_core", Test_runtime_core.suite);
+      ("worksteal", Test_worksteal.suite);
       ("net", Test_net.suite);
       ("policies", Test_policies.suite);
       ("apps", Test_apps.suite);

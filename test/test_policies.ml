@@ -174,11 +174,15 @@ let test_ws_steals_to_idle_core () =
   check Alcotest.bool "ran in parallel via stealing" true
     (!a > 0 && !b > 0 && abs (!a - !b) < Time.us 100)
 
+(* The GET arrives once the SCAN is already running (owner-head LIFO means
+   a GET queued before the first dispatch would be picked first). *)
 let test_ws_nonpreemptive_hol () =
   let engine, rt, app = make_rt ~cores:1 (Work_stealing.create ()) in
   let short = ref 0 in
   ignore (Percpu.spawn rt app ~name:"scan" ~cpu:0 (Coro.compute_then_exit (Time.us 591)));
-  spawn_timed engine rt app ~cpu:0 "get" (Time.ns 950) short;
+  ignore
+    (Engine.at engine (Time.us 1) (fun () ->
+         spawn_timed engine rt app ~cpu:0 "get" (Time.ns 950) short));
   Engine.run ~until:(Time.ms 2) engine;
   check Alcotest.bool "GET waited behind the SCAN" true (!short >= Time.us 591)
 
@@ -188,10 +192,112 @@ let test_ws_preemptive_breaks_hol () =
   in
   let short = ref 0 in
   ignore (Percpu.spawn rt app ~name:"scan" ~cpu:0 (Coro.compute_then_exit (Time.us 591)));
-  spawn_timed engine rt app ~cpu:0 "get" (Time.ns 950) short;
+  ignore
+    (Engine.at engine (Time.us 1) (fun () ->
+         spawn_timed engine rt app ~cpu:0 "get" (Time.ns 950) short));
   Engine.run ~until:(Time.ms 2) engine;
   check Alcotest.bool "GET escaped within ~2 quanta" true
     (!short > 0 && !short < Time.us 25)
+
+(* Direct-instance regression tests for the steal-path bugfixes: a
+   synthetic view lets us assert queue order, victim distribution and
+   wakeup placement without the runtime's dispatch noise. *)
+
+let ws_instance ?(cores = [| 0; 1 |]) ?(is_idle = fun _ -> false) () =
+  let view =
+    { Skyloft.Sched_ops.cores; is_idle; now = (fun () -> 0) }
+  in
+  Work_stealing.create () view
+
+let mk_task id name = Task.create ~id ~app:1 ~name (Coro.compute_then_exit 1)
+
+let names = Alcotest.list Alcotest.string
+
+(* Owner-head LIFO: fresh tasks run newest-first, a preempted task goes to
+   the tail behind queued short work (failed before the semantics fix:
+   every reason was push_tail, making the queue plain FIFO). *)
+let test_ws_owner_head_lifo () =
+  let p = ws_instance () in
+  let enq reason t = p.Skyloft.Sched_ops.task_enqueue ~cpu:0 ~reason t in
+  List.iteri
+    (fun i name -> enq Skyloft.Sched_ops.Enq_new (mk_task i name))
+    [ "a"; "b"; "c" ];
+  let deq () =
+    match p.Skyloft.Sched_ops.task_dequeue ~cpu:0 with
+    | Some t -> t.Task.name
+    | None -> "-"
+  in
+  check Alcotest.string "owner pops the newest first" "c" (deq ());
+  enq Skyloft.Sched_ops.Enq_preempted (mk_task 10 "preempted");
+  let d1 = deq () in
+  let d2 = deq () in
+  let d3 = deq () in
+  check names "preempted waits behind queued work" [ "b"; "a"; "preempted" ]
+    [ d1; d2; d3 ]
+
+(* The steal scan stops at the first hit and resumes from a persisted
+   cursor, so repeated steals rotate across victims instead of draining
+   thief+1 first (the old loop always restarted at thief+1). *)
+let test_ws_steal_cursor_round_robin () =
+  let p = ws_instance ~cores:[| 0; 1; 2; 3 |] () in
+  let id = ref 0 in
+  (* two tasks per victim; pop_tail steals the first-enqueued one *)
+  List.iter
+    (fun cpu ->
+      List.iter
+        (fun tag ->
+          incr id;
+          p.Skyloft.Sched_ops.task_enqueue ~cpu ~reason:Skyloft.Sched_ops.Enq_new
+            (mk_task !id (Printf.sprintf "v%d-%s" cpu tag)))
+        [ "first"; "second" ])
+    [ 1; 2; 3 ];
+  let steal () =
+    match p.Skyloft.Sched_ops.sched_balance ~cpu:0 with
+    | Some t -> t.Task.name
+    | None -> "-"
+  in
+  check Alcotest.string "first steal hits thief+1" "v1-first" (steal ());
+  (* early exit: victims 2 and 3 were not touched by the first steal *)
+  let local_len cpu =
+    let rec drain acc =
+      match p.Skyloft.Sched_ops.task_dequeue ~cpu with
+      | Some t -> drain (t :: acc)
+      | None -> acc
+    in
+    let popped_rev = drain [] in
+    (* rebuild the queue exactly: push_head in reverse pop order *)
+    List.iter
+      (fun t ->
+        p.Skyloft.Sched_ops.task_enqueue ~cpu ~reason:Skyloft.Sched_ops.Enq_new t)
+      popped_rev;
+    List.length popped_rev
+  in
+  check Alcotest.int "victim 2 untouched after the first steal" 2 (local_len 2);
+  check Alcotest.int "victim 3 untouched after the first steal" 2 (local_len 3);
+  let got = ref [] in
+  for _ = 1 to 6 do
+    got := steal () :: !got
+  done;
+  let got = List.rev !got in
+  check names "subsequent steals rotate round-robin from the cursor"
+    [ "v2-first"; "v3-first"; "v1-second"; "v2-second"; "v3-second"; "-" ]
+    got
+
+(* An unmanaged waker with no idle core rotates its fallback instead of
+   hot-spotting core 0. *)
+let test_ws_wakeup_fallback_rotates () =
+  let p = ws_instance ~cores:[| 0; 1; 2 |] () in
+  let targets =
+    List.map
+      (fun i -> p.Skyloft.Sched_ops.task_wakeup ~waker_cpu:99 (mk_task i "w"))
+      [ 1; 2; 3; 4 ]
+  in
+  check (Alcotest.list Alcotest.int) "fallback rotates across cores"
+    [ 0; 1; 2; 0 ] targets;
+  (* an idle core still wins over the rotation *)
+  let p = ws_instance ~cores:[| 0; 1; 2 |] ~is_idle:(fun c -> c = 2) () in
+  check Alcotest.int "idle core preferred over the fallback" 2
+    (p.Skyloft.Sched_ops.task_wakeup ~waker_cpu:99 (mk_task 9 "w"))
 
 (* ---- Shinjuku / Shinjuku-Shenango (centralized) ---- *)
 
@@ -249,6 +355,12 @@ let suite =
     Alcotest.test_case "ws: stealing" `Quick test_ws_steals_to_idle_core;
     Alcotest.test_case "ws: HoL without preemption" `Quick test_ws_nonpreemptive_hol;
     Alcotest.test_case "ws: preemption breaks HoL" `Quick test_ws_preemptive_breaks_hol;
+    Alcotest.test_case "ws: owner-head LIFO, preempted to tail" `Quick
+      test_ws_owner_head_lifo;
+    Alcotest.test_case "ws: steal cursor round-robin + early exit" `Quick
+      test_ws_steal_cursor_round_robin;
+    Alcotest.test_case "ws: wakeup fallback rotates off core 0" `Quick
+      test_ws_wakeup_fallback_rotates;
     Alcotest.test_case "shinjuku: processor sharing" `Quick test_shinjuku_processor_sharing;
     Alcotest.test_case "shinjuku-shenango: congestion stats" `Quick
       test_shinjuku_shenango_congestion_stats;

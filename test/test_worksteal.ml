@@ -1,0 +1,149 @@
+(* Behavioural tests for the work-stealing runtime: per-core deques,
+   steal-half rebalancing, the persisted steal cursor, and the
+   park/unpark path — all over the shared Runtime_core substrate. *)
+
+module Time = Skyloft_sim.Time
+module Engine = Skyloft_sim.Engine
+module Coro = Skyloft_sim.Coro
+module Topology = Skyloft_hw.Topology
+module Machine = Skyloft_hw.Machine
+module Kmod = Skyloft_kernel.Kmod
+module App = Skyloft.App
+module Task = Skyloft.Task
+module Worksteal = Skyloft.Worksteal
+
+let check = Alcotest.check
+
+let make_rt ?(cores = 4) ?(timer_hz = 100_000) ?(preemption = true) ?quantum
+    ?(park = None) () =
+  let engine = Engine.create () in
+  let machine =
+    Machine.create engine (Topology.create ~sockets:1 ~cores_per_socket:8)
+  in
+  let kmod = Kmod.create machine in
+  let rt =
+    Worksteal.create machine kmod ~cores:(List.init cores Fun.id) ~timer_hz
+      ~preemption ?quantum ~park ()
+  in
+  let app = Worksteal.create_app rt ~name:"app" in
+  (engine, rt, app)
+
+let spawn_timed engine rt app ?cpu name work finished =
+  ignore
+    (Worksteal.spawn rt app ~name ?cpu
+       (Coro.Compute (work, fun () -> finished := Engine.now engine; Coro.Exit)))
+
+(* Both tasks pinned to core 0: core 1 must steal one and they overlap. *)
+let test_steals_to_idle_core () =
+  let engine, rt, app = make_rt ~cores:2 () in
+  let a = ref 0 and b = ref 0 in
+  spawn_timed engine rt app ~cpu:0 "a" (Time.ms 1) a;
+  spawn_timed engine rt app ~cpu:0 "b" (Time.ms 1) b;
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.bool "ran in parallel via stealing" true
+    (!a > 0 && !b > 0 && abs (!a - !b) < Time.us 100);
+  check Alcotest.bool "a steal was counted" true (Worksteal.steals rt >= 1)
+
+(* Six tasks pinned to core 0 of a 2-core runtime: the idle core's first
+   grab takes HALF the backlog in one steal, not one task. *)
+let test_steal_half_bulk () =
+  let engine, rt, app = make_rt ~cores:2 () in
+  let done_ = ref 0 in
+  for i = 1 to 6 do
+    ignore
+      (Worksteal.spawn rt app ~name:(Printf.sprintf "t%d" i) ~cpu:0
+         (Coro.Compute (Time.us 100, fun () -> incr done_; Coro.Exit)))
+  done;
+  Engine.run ~until:(Time.ms 5) engine;
+  check Alcotest.int "all completed" 6 !done_;
+  check Alcotest.bool "stole at least two tasks in one grab" true
+    (Worksteal.stolen_tasks rt >= 2);
+  (* bulk transfer: fewer grabs than migrated tasks *)
+  check Alcotest.bool "steals < stolen tasks (bulk)" true
+    (Worksteal.steals rt < Worksteal.stolen_tasks rt)
+
+(* Without a quantum a long task blocks its core; with one the tick
+   preempts it while local work is queued (same punchline as Percpu). *)
+let test_quantum_breaks_hol () =
+  let engine, rt, app = make_rt ~cores:1 ~quantum:(Time.us 5) () in
+  let short = ref 0 in
+  ignore
+    (Worksteal.spawn rt app ~name:"scan" ~cpu:0
+       (Coro.compute_then_exit (Time.us 591)));
+  ignore
+    (Engine.at engine (Time.us 1) (fun () ->
+         spawn_timed engine rt app ~cpu:0 "get" (Time.ns 950) short));
+  Engine.run ~until:(Time.ms 2) engine;
+  check Alcotest.bool "GET escaped within ~2 quanta" true
+    (!short > 0 && !short < Time.us 25)
+
+(* An idle core whose scans keep failing parks (the steal-storm brake) and
+   pays the resume cost on its next dispatch. *)
+let test_parks_when_scans_fail () =
+  let engine, rt, app =
+    make_rt ~cores:1 ~park:(Some (Time.us 5, Time.us 2)) ()
+  in
+  let first = ref 0 and second = ref 0 in
+  spawn_timed engine rt app ~cpu:0 "first" (Time.us 10) first;
+  (* long gap: the core runs dry, fails its scans and parks *)
+  ignore
+    (Engine.at engine (Time.ms 1) (fun () ->
+         spawn_timed engine rt app ~cpu:0 "second" (Time.us 10) second));
+  Engine.run ~until:(Time.ms 2) engine;
+  check Alcotest.bool "both completed" true (!first > 0 && !second > 0);
+  check Alcotest.bool "the idle core parked" true (Worksteal.parks rt >= 1);
+  check Alcotest.bool "the parked core was woken" true (Worksteal.unparks rt >= 1);
+  check Alcotest.bool "failed scans were counted" true
+    (Worksteal.steal_fails rt >= 1)
+
+let test_no_park_when_disabled () =
+  let engine, rt, app = make_rt ~cores:2 () in
+  let a = ref 0 in
+  spawn_timed engine rt app "a" (Time.us 10) a;
+  Engine.run ~until:(Time.ms 2) engine;
+  check Alcotest.int "no parks with parking off" 0 (Worksteal.parks rt);
+  check Alcotest.int "no unparks either" 0 (Worksteal.unparks rt)
+
+(* Steal probes and migrations are charged: the stolen task's attributed
+   overhead includes the remote-cacheline costs, so total overhead on a
+   steal-heavy run exceeds the bare switch costs. *)
+let test_metrics_registered () =
+  let engine, rt, app = make_rt ~cores:2 () in
+  let a = ref 0 and b = ref 0 in
+  spawn_timed engine rt app ~cpu:0 "a" (Time.us 50) a;
+  spawn_timed engine rt app ~cpu:0 "b" (Time.us 50) b;
+  Engine.run ~until:(Time.ms 2) engine;
+  let reg = Skyloft_obs.Registry.create () in
+  Worksteal.register_metrics rt reg;
+  let samples = Skyloft_obs.Registry.snapshot reg in
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " present") true
+        (Skyloft_obs.Registry.find samples name <> None))
+    [
+      "skyloft_worksteal_steals_total";
+      "skyloft_worksteal_stolen_tasks_total";
+      "skyloft_worksteal_steal_fails_total";
+      "skyloft_worksteal_parks_total";
+      "skyloft_worksteal_unparks_total";
+    ];
+  match Skyloft_obs.Registry.find samples "skyloft_worksteal_steals_total" with
+  | Some (Skyloft_obs.Registry.Counter n) ->
+      check Alcotest.int "steals metric mirrors the counter" (Worksteal.steals rt) n
+  | _ -> Alcotest.fail "steals metric not an int counter"
+
+let suite =
+  [
+    Alcotest.test_case "worksteal: steals to idle core" `Quick
+      test_steals_to_idle_core;
+    Alcotest.test_case "worksteal: steal-half takes a batch" `Quick
+      test_steal_half_bulk;
+    Alcotest.test_case "worksteal: quantum breaks HoL" `Quick
+      test_quantum_breaks_hol;
+    Alcotest.test_case "worksteal: parks on failed scans" `Quick
+      test_parks_when_scans_fail;
+    Alcotest.test_case "worksteal: no parking when disabled" `Quick
+      test_no_park_when_disabled;
+    Alcotest.test_case "worksteal: steal metrics registered" `Quick
+      test_metrics_registered;
+  ]
